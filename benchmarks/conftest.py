@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``benchmarks/test_*.py`` regenerates one table/figure of the paper
+through pytest-benchmark (single-round pedantic mode: a figure is a
+deterministic simulation campaign, not a microbenchmark).
+
+Set ``REPRO_BENCH_SCALE`` to change the workload scale (default 0.5 for
+turnaround; 1.0 reproduces the EXPERIMENTS.md numbers).
+"""
+import os
+
+import pytest
+
+from repro.harness import Runner
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner(scale=bench_scale(), seed=0)
+
+
+def run_figure(benchmark, runner, experiment_fn):
+    """Run one experiment exactly once under pytest-benchmark and print
+    its table."""
+    result = benchmark.pedantic(
+        experiment_fn, args=(runner,), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    return result

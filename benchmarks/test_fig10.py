@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig 10 FIFO depth sensitivity (paper evaluation)."""
+from repro.harness import sensitivity
+
+from conftest import run_figure
+
+
+def test_fig10(benchmark, runner):
+    result = run_figure(benchmark, runner, sensitivity.fifo_depth)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig 11 stream cache level (paper evaluation)."""
+from repro.harness import sensitivity
+
+from conftest import run_figure
+
+
+def test_fig11(benchmark, runner):
+    result = run_figure(benchmark, runner, sensitivity.stream_cache_level)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig 8 benchmark table (paper evaluation)."""
+from repro.harness import fig8
+
+from conftest import run_figure
+
+
+def test_fig8_table(benchmark, runner):
+    result = run_figure(benchmark, runner, fig8.benchmark_table)
+    assert result.rows, "experiment produced no rows"

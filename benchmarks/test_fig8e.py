@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig 8.E loop unrolling (paper evaluation)."""
+from repro.harness import fig8
+
+from conftest import run_figure
+
+
+def test_fig8e(benchmark, runner):
+    result = run_figure(benchmark, runner, fig8.unrolling)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig 9 vector-register sensitivity (paper evaluation)."""
+from repro.harness import sensitivity
+
+from conftest import run_figure
+
+
+def test_fig9(benchmark, runner):
+    result = run_figure(benchmark, runner, sensitivity.vector_registers)
+    assert result.rows, "experiment produced no rows"

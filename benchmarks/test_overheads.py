@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Streaming Engine storage overheads (paper evaluation)."""
+from repro.harness import overheads
+
+from conftest import run_figure
+
+
+def test_overheads(benchmark, runner):
+    result = run_figure(benchmark, runner, overheads.storage_overheads)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table I configuration (paper evaluation)."""
+from repro.harness import overheads
+
+from conftest import run_figure
+
+
+def test_table1(benchmark, runner):
+    result = run_figure(benchmark, runner, overheads.table1)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,107 @@
+"""From loop nest to streams automatically: the mini affine compiler.
+
+The paper defers the UVE compiler to future work but describes its job
+(§III-A2): recognise affine combinations of loop induction variables and
+configure streams from them.  `repro.streams.compiler` implements that
+front-end analysis; this example compiles a small matrix-vector product
+straight from its loop-nest description, lowers the patterns to ss.*
+configuration instructions, and runs the result.
+
+    python examples/affine_compiler.py
+"""
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.cpu.config import uve_machine
+from repro.isa import ProgramBuilder, f, u
+from repro.isa import scalar_ops as sc
+from repro.isa import uve_ops as uve
+from repro.memory.backing import Memory
+from repro.sim.simulator import Simulator
+from repro.streams import StreamIterator
+from repro.streams.compiler import (
+    AffineAccess,
+    LoopNest,
+    TriangularBound,
+    compile_access,
+    config_instructions,
+)
+from repro.streams.pattern import Direction
+
+N = 64
+F32 = ElementType.F32
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    a = rng.standard_normal((N, N)).astype(np.float32)
+    xv = rng.standard_normal(N).astype(np.float32)
+
+    mem = Memory(1 << 22)
+    a_addr = mem.alloc_array(a)
+    x_addr = mem.alloc_array(xv)
+    y_addr = mem.alloc_array(np.zeros(N, dtype=np.float32))
+
+    # The source loop nest:   for i:  for j:  y[i] += A[i][j] * x[j]
+    # A and x live in the (i, j) nest; the y store happens once per i,
+    # so a compiler places it at the i level.
+    nest = LoopNest(["i", "j"], bounds={"i": N, "j": N})
+    outer = LoopNest(["i"], bounds={"i": N})
+    patterns = {
+        "A": compile_access(nest, AffineAccess("A", a_addr // 4,
+                                               {"i": N, "j": 1})),
+        "x": compile_access(nest, AffineAccess("x", x_addr // 4,
+                                               {"j": 1})),  # re-read per i
+        "y": compile_access(outer, AffineAccess("y", y_addr // 4, {"i": 1},
+                                                direction=Direction.STORE)),
+    }
+
+    print("compiled patterns:")
+    for name, pattern in patterns.items():
+        dims = [
+            (lv.descriptor.offset, lv.descriptor.size, lv.descriptor.stride)
+            for lv in pattern.levels
+        ]
+        print(f"  {name}: {dims}")
+    print()
+
+    # Lower to configuration instructions and build the kernel by hand
+    # (a real compiler would also emit the loop body).
+    b = ProgramBuilder("compiled-mv")
+    b.emit(*config_instructions(u(0), patterns["A"]))
+    b.emit(*config_instructions(u(1), patterns["x"]))
+    # y is produced one element per row through the scalar interface.
+    b.emit(*config_instructions(u(2), patterns["y"]))
+    b.label("row")
+    b.emit(uve.SoDup(u(5), 0.0, etype=F32))
+    b.label("chunk")
+    b.emit(
+        uve.SoMac(u(5), u(0), u(1), etype=F32),
+        uve.SoBranchDim(u(0), 0, "chunk", complete=False),
+        uve.SoRedScalar("add", f(1), u(5), etype=F32),
+        uve.SoScalarWrite(u(2), f(1), etype=F32),
+        uve.SoBranchEnd(u(0), "row", negate=True),
+        sc.Halt(),
+    )
+    program = b.build()
+    print("configuration preamble:")
+    for inst in program.instructions[:7]:
+        print("   ", inst)
+    print()
+
+    result = Simulator(program, mem, uve_machine()).run()
+    got = mem.ndarray(y_addr, (N,), np.float32)
+    np.testing.assert_allclose(got, a @ xv, rtol=1e-4)
+    print(f"y = A·x verified for N={N}; {result.committed} instructions, "
+          f"{result.cycles:.0f} cycles (IPC {result.ipc:.2f})")
+
+    # Bonus: a triangular nest compiles to a static size modifier.
+    tri = LoopNest(["i", "j"], {"i": 8, "j": TriangularBound("i", 1, 1)})
+    pattern = compile_access(tri, AffineAccess("L", 0, {"i": 8, "j": 1}))
+    addrs = [addr // 4 for addr in StreamIterator(pattern).addresses()]
+    print(f"\ntriangular nest compiles to {pattern.nmodifiers} modifier; "
+          f"first rows: {addrs[:6]} ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Building a custom streaming kernel with the programmatic API.
+
+Implements a banded matrix-vector product ``y[i] = sum_k band[i][k] *
+x[i+k-1]`` (tridiagonal) that is not one of the paper's benchmarks, to
+show how a downstream user targets UVE: three shifted input streams for
+x, one 2-D stream for the bands, an output stream, and a vectorized loop
+with zero index arithmetic.  Then sweeps the Streaming Engine FIFO depth
+to show the Fig. 10-style sensitivity on a custom kernel.
+
+    python examples/custom_stream_kernel.py
+"""
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.cpu.config import EngineConfig, uve_machine
+from repro.isa import ProgramBuilder, u
+from repro.isa import scalar_ops as sc
+from repro.isa import uve_ops as uve
+from repro.memory.backing import Memory
+from repro.sim.simulator import Simulator
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+N = 8192
+
+
+def build(bands_addr, x_addr, y_addr, n):
+    """y[i] = lo[i]*x[i-1] + mid[i]*x[i] + hi[i]*x[i+1] over the interior."""
+    interior = n - 2
+    b = ProgramBuilder("tridiag-mv")
+    be, xe, ye = bands_addr // 4, x_addr // 4, y_addr // 4
+    # Bands stored as three contiguous arrays lo|mid|hi of length n.
+    for reg, band in ((u(0), 0), (u(1), 1), (u(2), 2)):
+        b.emit(uve.SsConfig1D(reg, Direction.LOAD, be + band * n + 1,
+                              interior, 1, etype=F32))
+    for reg, shift in ((u(3), 0), (u(4), 1), (u(5), 2)):
+        b.emit(uve.SsConfig1D(reg, Direction.LOAD, xe + shift,
+                              interior, 1, etype=F32))
+    b.emit(uve.SsConfig1D(u(6), Direction.STORE, ye + 1, interior, 1,
+                          etype=F32))
+    b.label("loop")
+    b.emit(
+        uve.SoOp("mul", u(7), u(0), u(3), etype=F32),
+        uve.SoMac(u(7), u(1), u(4), etype=F32),
+        uve.SoMac(u(7), u(2), u(5), etype=F32),
+        uve.SoMove(u(6), u(7), etype=F32),
+        uve.SoBranchEnd(u(0), "loop", negate=True),
+        )
+    b.emit(sc.Halt())
+    return b.build()
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    bands = rng.standard_normal((3, N)).astype(np.float32)
+    xs = rng.standard_normal(N).astype(np.float32)
+
+    expected = np.zeros(N, dtype=np.float32)
+    expected[1:-1] = (
+        bands[0, 1:-1] * xs[:-2]
+        + bands[1, 1:-1] * xs[1:-1]
+        + bands[2, 1:-1] * xs[2:]
+    )
+
+    print("tridiagonal matrix-vector product, n =", N)
+    print(f"{'FIFO depth':>10s} {'cycles':>10s} {'IPC':>6s} "
+          f"{'mean FIFO occupancy':>20s}")
+    for depth in (2, 4, 8, 12):
+        mem = Memory(1 << 22)
+        b_addr = mem.alloc_array(bands)
+        x_addr = mem.alloc_array(xs)
+        y_addr = mem.alloc_array(np.zeros(N, dtype=np.float32))
+        config = uve_machine().with_(engine=EngineConfig(fifo_depth=depth))
+        program = build(b_addr, x_addr, y_addr, N)
+        result = Simulator(program, mem, config).run()
+        got = mem.ndarray(y_addr, (N,), np.float32)
+        np.testing.assert_allclose(got[1:-1], expected[1:-1], rtol=1e-5)
+        engine = result.pipeline.engine
+        print(f"{depth:>10d} {result.cycles:>10.0f} {result.ipc:>6.2f} "
+              f"{engine.stats.mean_fifo_occupancy:>20.1f}")
+    print("\nresult verified against NumPy at every depth")
+
+
+if __name__ == "__main__":
+    main()

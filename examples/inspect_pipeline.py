@@ -1,0 +1,67 @@
+"""Inspecting execution: functional traces and pipeline timelines.
+
+Shows the debugging tools a performance engineer would use: a dynamic
+trace of the first loop iterations (who consumed which stream chunk),
+the per-stream summary, and a cycle-accurate rename/issue/commit
+timeline through the out-of-order pipeline.
+
+    python examples/inspect_pipeline.py
+"""
+import numpy as np
+
+from repro.isa import f
+from repro.isa.assembler import assemble
+from repro.memory.backing import Memory
+from repro.sim.debug import functional_trace, pipeline_timeline, stream_report
+from repro.sim.functional import FunctionalSimulator
+
+N = 256
+
+SOURCE = """
+; dot-product flavoured loop: acc += x[i]*y[i], then horizontal add
+    ss.ld.w     u0, {x}, {n}, 1
+    ss.ld.w     u1, {y}, {n}, 1
+    so.v.dup.fw u5, f0
+loop:
+    so.a.mac.fp u5, u0, u1
+    so.b.nend   u0, loop
+    so.r.add.sc f1, u5
+    halt
+"""
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    xs = rng.standard_normal(N).astype(np.float32)
+    ys = rng.standard_normal(N).astype(np.float32)
+
+    mem = Memory(1 << 20)
+    xa, ya = mem.alloc_array(xs), mem.alloc_array(ys)
+    source = SOURCE.format(x=xa // 4, y=ya // 4, n=N)
+
+    print("== dynamic trace (first 14 instructions) ==")
+    program = assemble(source, "dot")
+    print(functional_trace(program, Memory_copy(mem), limit=14))
+    print()
+
+    print("== stream summary ==")
+    sim = FunctionalSimulator(assemble(source, "dot"), memory=Memory_copy(mem))
+    summary = sim.run()
+    dot = sim.state.read_f(f(1))
+    print(stream_report(summary))
+    print(f"dot product = {dot:.4f} (numpy: {float(xs @ ys):.4f})")
+    print()
+
+    print("== pipeline timeline (first 16 ops) ==")
+    print(pipeline_timeline(assemble(source, "dot"), Memory_copy(mem), count=16))
+
+
+def Memory_copy(mem: Memory) -> Memory:
+    clone = Memory(mem.size)
+    clone.data[:] = mem.data
+    clone._brk = mem._brk
+    return clone
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Reproduction of *Unlimited Vector Extension with Data Streaming Support*
+(Domingos, Neves, Roma, Tomás — ISCA 2021).
+
+The package provides:
+
+* ``repro.streams`` — the hierarchical stream-descriptor model (§II);
+* ``repro.isa`` — the UVE instruction set plus SVE-like, NEON-like and
+  scalar baseline ISAs (§III);
+* ``repro.engine`` — the Streaming Engine (§IV-B);
+* ``repro.cpu`` — the out-of-order core timing model (§IV, Table I);
+* ``repro.memory`` — caches, prefetchers, TLB, and DRAM;
+* ``repro.sim`` — the functional simulator and the combined
+  functional+timing :class:`~repro.sim.simulator.Simulator`;
+* ``repro.kernels`` — the 19 evaluation kernels in all ISAs;
+* ``repro.harness`` — regeneration of every figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro.common.types import ElementType, VectorShape  # noqa: F401
+from repro.streams import (  # noqa: F401
+    Descriptor,
+    Direction,
+    IndirectModifier,
+    Level,
+    MemLevel,
+    StaticModifier,
+    StreamIterator,
+    StreamPattern,
+    VectorChunker,
+    indirect,
+    linear,
+    lower_triangular,
+    rectangular,
+    repeated,
+)

@@ -1,0 +1,18 @@
+"""Shared primitive types and helpers."""
+from repro.common.types import (
+    CACHE_LINE_BYTES,
+    DEFAULT_VECTOR_BITS,
+    PAGE_BYTES,
+    ElementType,
+    VectorShape,
+    lanes_for,
+)
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "DEFAULT_VECTOR_BITS",
+    "PAGE_BYTES",
+    "ElementType",
+    "VectorShape",
+    "lanes_for",
+]

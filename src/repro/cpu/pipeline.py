@@ -1,0 +1,523 @@
+"""Out-of-order core timing model (paper §IV, Table I).
+
+A cycle-driven pipeline consuming the functional simulator's dynamic
+trace: fetch (4-wide, gshare-predicted branches; a misprediction stalls
+fetch until the branch resolves plus the front-end redirect depth),
+rename/dispatch (RAT producers, physical-register/ROB/IQ/LQ/SQ structural
+limits — stalls here are the paper's Fig. 8.C metric), per-cluster
+24-entry schedulers, issue (2 int ALUs, 2 FP/vector units, 2 load + 1
+store ports, 8-wide total), execution latencies per op class, memory
+through the cache hierarchy, and 4-wide in-order commit.
+
+Streaming instructions interact with the
+:class:`~repro.engine.engine.StreamingEngine`: configurations register at
+rename through the SCROB; stream-consuming ops wait for their FIFO entry
+instead of a register producer and release it at commit; stream-producing
+ops reserve Store FIFO entries at rename (stalling when full) and drain
+to the L1 after commit.
+"""
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.cpu.branch_pred import GsharePredictor
+from repro.cpu.config import MachineConfig
+from repro.cpu.stats import PipelineStats
+from repro.engine.engine import StreamingEngine
+from repro.errors import ConfigError
+from repro.isa.microop import FuCluster, OpClass
+from repro.isa.registers import RegClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.trace import DynOp, StreamTraceInfo
+
+_BANK_OF = {RegClass.X: "int", RegClass.F: "fp", RegClass.V: "vec"}
+
+#: op classes whose accumulator operand benefits from MAC->MAC forwarding
+_MAC_CLASSES = (OpClass.VEC_MAC, OpClass.FP_MAC)
+
+
+class _Op:
+    """In-flight instruction state."""
+
+    __slots__ = (
+        "dyn",
+        "cluster",
+        "producers",
+        "stream_waits",
+        "store_streams",
+        "complete",
+        "early_complete",
+        "issued",
+        "is_load",
+        "is_store",
+        "mem_lines",
+        "allocs",
+        "mispredicted",
+    )
+
+    def __init__(self, dyn: DynOp) -> None:
+        self.dyn = dyn
+        self.cluster = dyn.opclass.cluster
+        #: (producer, wants_early) pairs; pruned as they are satisfied
+        self.producers: List = []
+        self.stream_waits = ()
+        self.store_streams = ()
+        self.complete: Optional[float] = None
+        self.early_complete: Optional[float] = None
+        self.issued = False
+        self.is_load = dyn.opclass.is_load
+        self.is_store = dyn.opclass.is_store
+        self.mem_lines: List[int] = []
+        self.allocs: Dict[str, int] = {}
+        self.mispredicted = False
+
+
+class Pipeline:
+    """The timing model; one instance per simulation run."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        stream_infos: Optional[Dict[int, StreamTraceInfo]] = None,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy or MemoryHierarchy(config)
+        self.stream_infos = stream_infos or {}
+        self.engine = (
+            StreamingEngine(config.engine, self.hierarchy)
+            if config.streaming
+            else None
+        )
+        if not config.streaming and stream_infos:
+            raise ConfigError(
+                "trace contains stream operations but the machine has no "
+                "Streaming Engine (streaming=False)"
+            )
+        self.predictor = GsharePredictor()
+        self.stats = PipelineStats()
+        core = config.core
+        self._latency = config.latencies
+        self._mac_forwarding = core.mac_forwarding
+        # Structural resources (counters).
+        self._rob = 0
+        self._iq = 0
+        self._lq = 0
+        self._sq = 0
+        self._free = {
+            "int": core.int_phys_regs - 32,
+            "fp": core.fp_phys_regs - 32,
+            "vec": core.vec_phys_regs - 32,
+        }
+        # Pipeline structures.
+        self._decode: Deque[_Op] = deque()
+        self._rob_q: Deque[_Op] = deque()
+        self._sched: Dict[FuCluster, List[_Op]] = {
+            FuCluster.INT: [],
+            FuCluster.FP: [],
+            FuCluster.MEM: [],
+        }
+        self._rat: Dict[object, _Op] = {}
+        #: line -> in-flight (renamed, not yet drained) store ops, oldest
+        #: first; loads must wait for every older store to the same line
+        self._store_by_line: Dict[int, List[_Op]] = {}
+        #: committed demand stores awaiting L1 acceptance (SQ drains here)
+        self._post_stores: Deque = deque()
+        self._block_branch: Optional[_Op] = None
+        self._resume_fetch_at = 0.0
+        self._trace_done = False
+        #: optional callable(event, dyn_op, cycle) receiving "rename",
+        #: "issue", and "commit" events (used by repro.sim.debug)
+        self.observer = None
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self, trace: Iterable[DynOp]) -> PipelineStats:
+        trace_iter = iter(trace)
+        cycle = 0.0
+        line_bytes = self.hierarchy.line_bytes
+        guard = 0
+        while True:
+            if self.engine is not None:
+                self.engine.tick(cycle)
+            self._drain_post_stores(cycle)
+            self._commit(cycle)
+            self._issue(cycle)
+            self._rename(cycle)
+            self._fetch(cycle, trace_iter, line_bytes)
+            if self._trace_done and not self._rob_q and not self._decode:
+                if self._post_stores or (
+                    self.engine is not None and self.engine.stores_pending
+                ):
+                    cycle += 1
+                    continue
+                break
+            cycle += 1
+            guard += 1
+            if guard > 200_000_000:
+                raise ConfigError("timing simulation exceeded cycle guard")
+        end = cycle
+        if self.engine is not None:
+            end = max(end, self.engine.last_drain_cycle)
+        self.stats.cycles = max(end, 1.0)
+        self.stats.bus_utilization = self.hierarchy.bus_utilization(
+            self.stats.cycles
+        )
+        self.stats.branch_mispredicts = self.predictor.mispredictions
+        self.stats.branches = self.predictor.predictions
+        return self.stats
+
+    # ---------------------------------------------------------------- fetch --
+
+    def _fetch(self, now: float, trace_iter, line_bytes: int) -> None:
+        if self._trace_done:
+            return
+        blocker = self._block_branch
+        if blocker is not None:
+            if blocker.complete is None:
+                self.stats.fetch_stall_cycles += 1
+                return
+            resume = blocker.complete + self.config.core.frontend_depth
+            if now < resume:
+                self.stats.fetch_stall_cycles += 1
+                return
+            self._block_branch = None
+        if now < self._resume_fetch_at:
+            self.stats.fetch_stall_cycles += 1
+            return
+        width = self.config.core.fetch_width
+        room = self.config.core.decode_queue - len(self._decode)
+        for _ in range(min(width, room)):
+            try:
+                dyn = next(trace_iter)
+            except StopIteration:
+                self._trace_done = True
+                return
+            op = _Op(dyn)
+            self.stats.fetched += 1
+            self._decode.append(op)
+            if dyn.is_branch:
+                wrong = self.predictor.record_outcome(dyn.pc, dyn.taken)
+                if wrong:
+                    op.mispredicted = True
+                    self._block_branch = op
+                    return
+                if dyn.taken:
+                    return  # taken branch ends the fetch group
+
+    # --------------------------------------------------------------- rename --
+
+    def _rename(self, now: float) -> None:
+        core = self.config.core
+        engine = self.engine
+        renamed = 0
+        while self._decode and renamed < core.fetch_width:
+            op = self._decode[0]
+            dyn = op.dyn
+            cause = self._structural_block(op)
+            if cause is not None:
+                self.stats.block(cause)
+                return
+            # Stream store-FIFO reservation (may stall rename).
+            if dyn.stream_writes and engine is not None:
+                if not all(
+                    engine.streams[uid].store_reserved
+                    - engine.streams[uid].store_drained
+                    < engine.config.fifo_depth
+                    for (_, uid, __, last) in dyn.stream_writes
+                    if last
+                ):
+                    self.stats.block("store_fifo")
+                    return
+            self._decode.popleft()
+            renamed += 1
+            self._rob += 1
+            self._rob_q.append(op)
+            if self.observer is not None:
+                self.observer("rename", dyn, now)
+            # Resource allocation.  Stream config/control name streams via
+            # the Stream Alias Table, not physical vector registers; data
+            # written to an output stream lives in its reserved Store FIFO
+            # entry rather than a vector PR (§IV-A Stream Iteration).
+            if dyn.opclass not in (OpClass.STREAM_CFG, OpClass.STREAM_CTL):
+                write_regs = (
+                    {ev[0] for ev in dyn.stream_writes}
+                    if dyn.stream_writes
+                    else ()
+                )
+                for dest in dyn.dests:
+                    if dest.cls is RegClass.V and dest.index in write_regs:
+                        continue
+                    bank = _BANK_OF.get(dest.cls)
+                    if bank is not None:
+                        self._free[bank] -= 1
+                        op.allocs[bank] = op.allocs.get(bank, 0) + 1
+            if op.is_load:
+                self._lq += 1
+            if op.is_store:
+                self._sq += 1
+            # Register dependences via the RAT (stream-read registers are
+            # satisfied by the FIFO, not by a producer).
+            stream_regs = (
+                {ev[0] for ev in dyn.stream_reads} if dyn.stream_reads else ()
+            )
+            is_mac = (
+                self._mac_forwarding and dyn.opclass in _MAC_CLASSES
+            )
+            for src in dyn.srcs:
+                if src.cls is RegClass.V and src.index in stream_regs:
+                    continue
+                producer = self._rat.get(src)
+                if producer is not None:
+                    # Cortex-A76-style accumulator forwarding: a MAC
+                    # feeding the accumulator of the next MAC is consumed
+                    # two cycles early (back-to-back FMLA chains).
+                    bonus = (
+                        2.0
+                        if is_mac
+                        and producer.dyn.opclass in _MAC_CLASSES
+                        and producer.dyn.dests
+                        and src == producer.dyn.dests[0]
+                        and dyn.dests
+                        and src == dyn.dests[0]
+                        else 0.0
+                    )
+                    op.producers.append(
+                        (producer, src in producer.dyn.early_dests, bonus)
+                    )
+            for dest in dyn.dests:
+                self._rat[dest] = op
+            # Stream interactions.
+            if engine is not None:
+                if dyn.cfg_uid is not None:
+                    info = self.stream_infos[dyn.cfg_uid]
+                    start = engine.configure(info, now)
+                    op.complete = start
+                    op.early_complete = start
+                elif dyn.opclass in (OpClass.STREAM_CFG, OpClass.STREAM_CTL):
+                    op.complete = now + 1
+                    op.early_complete = now + 1
+                if dyn.stream_reads:
+                    op.stream_waits = dyn.stream_reads
+                    for (_, uid, chunk, __) in dyn.stream_reads:
+                        engine.rename_read(uid, chunk)
+                if dyn.stream_writes:
+                    op.store_streams = dyn.stream_writes
+                    for (_, uid, __, last) in dyn.stream_writes:
+                        if last:
+                            engine.reserve_store(uid)
+            elif dyn.opclass in (OpClass.STREAM_CFG, OpClass.STREAM_CTL):
+                op.complete = now + 1
+                op.early_complete = now + 1
+            # Dispatch.
+            if op.complete is not None:
+                continue  # completes outside the execution clusters
+            if op.cluster is FuCluster.NONE:
+                op.complete = now + 1
+                op.early_complete = now + 1
+                continue
+            if op.is_store:
+                for addr in dyn.mem_writes or ():
+                    line = addr // self.hierarchy.line_bytes
+                    if not op.mem_lines or op.mem_lines[-1] != line:
+                        op.mem_lines.append(line)
+                for line in op.mem_lines:
+                    self._store_by_line.setdefault(line, []).append(op)
+            elif op.is_load:
+                seen = []
+                for addr in dyn.mem_reads or ():
+                    line = addr // self.hierarchy.line_bytes
+                    if line not in seen:
+                        seen.append(line)
+                op.mem_lines = seen
+            self._iq += 1
+            self._sched[op.cluster].append(op)
+
+    def _structural_block(self, op: _Op) -> Optional[str]:
+        core = self.config.core
+        dyn = op.dyn
+        if self._rob >= core.rob_entries:
+            return "rob"
+        needs_sched = (
+            op.cluster is not FuCluster.NONE
+            and dyn.opclass not in (OpClass.STREAM_CFG, OpClass.STREAM_CTL)
+        )
+        if needs_sched:
+            if self._iq >= core.iq_entries:
+                return "iq"
+            if len(self._sched[op.cluster]) >= core.scheduler_entries:
+                return "scheduler"
+        if op.is_load and self._lq >= core.lq_entries:
+            return "lq"
+        if op.is_store and self._sq >= core.sq_entries:
+            return "sq"
+        if dyn.opclass not in (OpClass.STREAM_CFG, OpClass.STREAM_CTL):
+            needed: Dict[str, int] = {}
+            for dest in dyn.dests:
+                bank = _BANK_OF.get(dest.cls)
+                if bank is not None:
+                    needed[bank] = needed.get(bank, 0) + 1
+            for bank, count in needed.items():
+                if self._free[bank] < count:
+                    return f"{bank}_regs"
+        return None
+
+    # ---------------------------------------------------------------- issue --
+
+    def _ready(self, op: _Op, now: float) -> bool:
+        producers = op.producers
+        if producers:
+            remaining = []
+            ready = True
+            for entry in producers:
+                producer, early, bonus = entry
+                t = producer.early_complete if early else producer.complete
+                if t is None or t - bonus > now:
+                    remaining.append(entry)
+                    ready = False
+            op.producers = remaining
+            if not ready:
+                return False
+        if op.stream_waits:
+            engine = self.engine
+            for (_, uid, chunk, __) in op.stream_waits:
+                if engine.chunk_ready(uid, chunk) > now:
+                    return False
+        if op.is_load:
+            seq = op.dyn.seq
+            for line in op.mem_lines:
+                for store in self._store_by_line.get(line, ()):
+                    if store.dyn.seq >= seq:
+                        break  # stores are appended in rename (seq) order
+                    if store.complete is None or store.complete > now:
+                        return False
+        return True
+
+    def _issue(self, now: float) -> None:
+        core = self.config.core
+        budget = core.issue_width
+        ports = {
+            FuCluster.INT: core.int_alus,
+            FuCluster.FP: core.fp_units,
+            FuCluster.MEM: core.load_ports + core.store_ports,
+        }
+        store_ports = core.store_ports
+        load_ports = core.load_ports
+        for cluster in (FuCluster.MEM, FuCluster.FP, FuCluster.INT):
+            queue = self._sched[cluster]
+            if not queue:
+                continue
+            issued: List[_Op] = []
+            loads = stores = 0
+            for op in queue:
+                if budget <= 0 or len(issued) >= ports[cluster]:
+                    break
+                if cluster is FuCluster.MEM:
+                    if op.is_load and loads >= load_ports:
+                        continue
+                    if op.is_store and stores >= store_ports:
+                        continue
+                if not self._ready(op, now):
+                    continue
+                self._execute(op, now)
+                issued.append(op)
+                budget -= 1
+                if op.is_load:
+                    loads += 1
+                elif op.is_store:
+                    stores += 1
+            if issued:
+                remaining = [op for op in queue if op not in issued]
+                self._sched[cluster] = remaining
+                self._iq -= len(issued)
+
+    def _execute(self, op: _Op, now: float) -> None:
+        dyn = op.dyn
+        op.issued = True
+        op.early_complete = now + 1
+        if self.observer is not None:
+            self.observer("issue", dyn, now)
+        if op.is_load:
+            self.stats.loads_issued += 1
+            completion = now + 1
+            for line in op.mem_lines:
+                done = self.hierarchy.demand_access(
+                    line * self.hierarchy.line_bytes, now + 1, False, pc=dyn.pc
+                )
+                if done > completion:
+                    completion = done
+            op.complete = completion
+        elif op.is_store:
+            self.stats.stores_issued += 1
+            op.complete = now + 1  # address generation; data written at commit
+        else:
+            op.complete = now + self._latency[dyn.opclass]
+
+    def _drain_post_stores(self, now: float) -> None:
+        """Write committed stores to the L1, bounded by the store ports
+        and by L1 MSHR availability (backpressure under saturation)."""
+        l1 = self.hierarchy.l1d
+        for _ in range(self.config.core.store_ports):
+            if not self._post_stores:
+                return
+            if not l1.can_accept(now):
+                return
+            op, lines = self._post_stores[0]
+            if lines:
+                line = lines.pop(0)
+                self.hierarchy.demand_access(
+                    line * self.hierarchy.line_bytes, now, True, pc=op.dyn.pc
+                )
+                waiting = self._store_by_line.get(line)
+                if waiting and waiting[0] is op:
+                    waiting.pop(0)
+                    if not waiting:
+                        del self._store_by_line[line]
+            if not lines:
+                self._post_stores.popleft()
+                self._sq -= 1
+
+    # --------------------------------------------------------------- commit --
+
+    def _commit(self, now: float) -> None:
+        engine = self.engine
+        width = self.config.core.commit_width
+        for _ in range(width):
+            if not self._rob_q:
+                return
+            op = self._rob_q[0]
+            if op.complete is None or op.complete > now - 1:
+                return
+            self._rob_q.popleft()
+            self._rob -= 1
+            self.stats.committed += 1
+            dyn = op.dyn
+            if self.observer is not None:
+                self.observer("commit", dyn, now)
+            for bank, count in op.allocs.items():
+                self._free[bank] += count
+            if op.is_load:
+                self._lq -= 1
+            if op.is_store:
+                # The store drains to the L1 after commit; its SQ entry is
+                # freed once the L1 accepts it (flow control).
+                self._post_stores.append((op, list(op.mem_lines)))
+            for dest in dyn.dests:
+                if self._rat.get(dest) is op:
+                    del self._rat[dest]
+            if engine is not None:
+                if op.stream_waits:
+                    for (_, uid, chunk, last) in op.stream_waits:
+                        if last:
+                            engine.commit_read(uid, chunk)
+                if op.store_streams:
+                    for (_, uid, chunk, last) in op.store_streams:
+                        if last:
+                            engine.commit_write(uid, chunk, now)
+                if dyn.opclass is OpClass.STREAM_CTL and dyn.inst is not None:
+                    kind = getattr(dyn.inst, "kind", None)
+                    if kind == "stop":
+                        for uid, info in self.stream_infos.items():
+                            if info.reg == dyn.inst.u.index:
+                                engine.terminate(uid)

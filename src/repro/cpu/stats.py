@@ -1,0 +1,41 @@
+"""Pipeline statistics, including the paper's reported metrics."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PipelineStats:
+    cycles: float = 0.0
+    committed: int = 0
+    fetched: int = 0
+    #: cycles on which rename could not process an instruction, by cause
+    rename_block_cycles: int = 0
+    rename_block_causes: Dict[str, int] = field(default_factory=dict)
+    fetch_stall_cycles: int = 0
+    branch_mispredicts: int = 0
+    branches: int = 0
+    loads_issued: int = 0
+    stores_issued: int = 0
+    #: DRAM bus utilization, (ReadBW+WriteBW)/PeakBW (Fig. 8.D)
+    bus_utilization: float = 0.0
+
+    def block(self, cause: str) -> None:
+        self.rename_block_cycles += 1
+        self.rename_block_causes[cause] = (
+            self.rename_block_causes.get(cause, 0) + 1
+        )
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def rename_blocks_per_cycle(self) -> float:
+        """Fraction of cycles the rename stage was blocked (Fig. 8.C)."""
+        return self.rename_block_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.branch_mispredicts / self.branches if self.branches else 0.0

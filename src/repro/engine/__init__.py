@@ -1,0 +1,7 @@
+"""The Streaming Engine (paper §IV-B): stream table, SCROB, scheduler,
+address generation, load/store FIFOs."""
+from repro.engine.engine import EngineStats, StreamingEngine
+from repro.engine.scheduler import StreamScheduler
+from repro.engine.table import EngineStream
+
+__all__ = ["EngineStats", "EngineStream", "StreamScheduler", "StreamingEngine"]

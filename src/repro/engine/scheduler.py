@@ -1,0 +1,55 @@
+"""Stream Scheduler: selects the streams the Stream Processing Modules
+iterate each cycle (paper §IV-B *Stream Scheduler Policy*).
+
+The default policy prioritises streams whose FIFO queues are least
+occupied — the most-consumed FIFO gets refilled first.  A round-robin
+policy is provided for the ablation benchmark.
+"""
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.table import EngineStream
+from repro.errors import ConfigError
+
+
+class StreamScheduler:
+    def __init__(self, policy: str = "fifo-occupancy") -> None:
+        if policy not in ("fifo-occupancy", "round-robin"):
+            raise ConfigError(f"unknown stream scheduler policy {policy!r}")
+        self.policy = policy
+        self._rr_next = 0
+
+    def select(
+        self,
+        streams: List[EngineStream],
+        count: int,
+        now: float,
+        pool_free=None,
+    ) -> List[EngineStream]:
+        """Pick up to ``count`` streams eligible for address generation.
+
+        With a shared FIFO pool, ``pool_free`` is the remaining pooled
+        capacity: streams may exceed their nominal depth (up to 4x) while
+        the pool has room."""
+        if pool_free is not None:
+            # Streams under their nominal depth are always eligible (the
+            # fixed-queue behaviour is a floor); borrowing beyond it
+            # needs pool headroom.
+            eligible = [
+                s for s in streams
+                if s.wants_generation(now, shared=True)
+                and (s.fifo_occupancy() < s.fifo_depth or pool_free > 0)
+            ]
+        else:
+            eligible = [s for s in streams if s.wants_generation(now)]
+        if not eligible:
+            return []
+        if self.policy == "fifo-occupancy":
+            eligible.sort(key=lambda s: (s.fifo_occupancy(), s.info.uid))
+            return eligible[:count]
+        # Round-robin: rotate the starting point each cycle.
+        start = self._rr_next % len(eligible)
+        self._rr_next += 1
+        ordered = eligible[start:] + eligible[:start]
+        return ordered[:count]

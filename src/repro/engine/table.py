@@ -1,0 +1,176 @@
+"""Stream Table entries: per-stream timing state inside the Streaming
+Engine (paper Fig. 7).
+
+An :class:`EngineStream` tracks the address-generation progress (which
+chunk the Stream Processing Modules are iterating, and which cache lines
+of it remain to be requested), the load/store FIFO occupancy, and the
+speculative and committed iteration pointers that support speculative
+execution (paper §IV-A *Miss-Speculation*).
+"""
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.errors import StreamError
+from repro.sim.trace import StreamTraceInfo
+
+INFINITY = math.inf
+
+
+class _ChunkFetch:
+    """In-flight fetch state of one chunk (one FIFO entry)."""
+
+    __slots__ = ("lines", "next_line", "ready", "issued_done")
+
+    def __init__(self, lines: List[int]) -> None:
+        self.lines = lines
+        self.next_line = 0
+        self.ready = 0.0  # max completion over issued lines
+        self.issued_done = False
+
+
+class EngineStream:
+    """Timing state of one configured stream."""
+
+    def __init__(
+        self,
+        info: StreamTraceInfo,
+        fifo_depth: int,
+        line_bytes: int,
+        start_cycle: float,
+    ) -> None:
+        self.info = info
+        self.fifo_depth = fifo_depth
+        self.line_bytes = line_bytes
+        self.start_cycle = start_cycle
+
+        self.num_chunks = len(info.chunks)
+        #: chunk index the address generator will fetch next (loads) or
+        #: whose store addresses it will generate next (stores)
+        self.gen_next = 0
+        self._current: Optional[_ChunkFetch] = None
+        #: ready cycle of each fetched chunk (load FIFO entries)
+        self.chunk_ready: Dict[int, float] = {}
+        #: speculative consumption pointer (advanced at rename)
+        self.spec_head = 0
+        #: committed consumption pointer (advanced at commit; frees FIFO)
+        self.commit_head = 0
+        # Store-FIFO bookkeeping (output streams).
+        self.store_reserved = 0
+        self.store_drained = 0
+        self.terminated = False
+
+    # -- Occupancy / scheduling ------------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.info.is_load
+
+    def fifo_occupancy(self) -> int:
+        """Entries currently held (fetched or reserved, not yet freed)."""
+        if self.is_load:
+            return self.gen_next - self.commit_head
+        return self.store_reserved - self.store_drained
+
+    def wants_generation(self, now: float, shared: bool = False) -> bool:
+        """True when the scheduler may pick this stream this cycle.
+
+        ``shared`` lifts the per-stream bound to 4x the nominal depth
+        (the pooled-FIFO future-work design); overall pool capacity is
+        enforced by the engine."""
+        if self.terminated or now < self.start_cycle:
+            return False
+        if not self.is_load:
+            return False  # store address generation is handled at commit
+        if self.gen_next >= self.num_chunks:
+            return False
+        # Fetch-ahead bounded by FIFO space (entries free after commit).
+        bound = 4 * self.fifo_depth if shared else self.fifo_depth
+        return self.gen_next - self.commit_head < bound
+
+    # -- Address generation (one line request per call) --------------------------
+
+    def _chunk_lines(self, index: int) -> List[int]:
+        """Distinct cache lines of chunk ``index`` (pattern order),
+        including engine-internal indirect origin reads."""
+        lines: List[int] = []
+        last = -1
+        for addr in self.info.origin_reads[index] + self.info.chunks[index]:
+            line = addr // self.line_bytes
+            if line != last and line not in lines:
+                lines.append(line)
+            last = line
+        return lines
+
+    def next_line_request(self) -> Optional[int]:
+        """Peek the next cache line to request, or None when the current
+        chunk is fully issued."""
+        if self._current is None:
+            if self.gen_next >= self.num_chunks:
+                return None
+            self._current = _ChunkFetch(self._chunk_lines(self.gen_next))
+        fetch = self._current
+        if fetch.next_line >= len(fetch.lines):
+            return None
+        return fetch.lines[fetch.next_line]
+
+    def line_issued(self, completion: float) -> Optional[int]:
+        """Record the completion of the line just requested.  Returns the
+        chunk index if this completed the chunk's issue, else None."""
+        fetch = self._current
+        if fetch is None:
+            raise StreamError("line_issued without an active chunk")
+        fetch.ready = max(fetch.ready, completion)
+        fetch.next_line += 1
+        if fetch.next_line >= len(fetch.lines):
+            chunk = self.gen_next
+            #: +2: engine fill and forward into the register file
+            self.chunk_ready[chunk] = fetch.ready + 2
+            self.gen_next = chunk + 1
+            self._current = None
+            return chunk
+        return None
+
+    def crosses_dimension(self) -> bool:
+        """True when the chunk being generated ends a dimension (the
+        address generator pays one extra cycle to switch descriptors)."""
+        index = self.gen_next
+        flags = self.info.chunk_flags
+        return 0 <= index < len(flags) and flags[index] >= 1
+
+    # -- Consumption interface (pipeline-facing) -----------------------------------
+
+    def ready_cycle(self, chunk: int) -> float:
+        """Cycle the chunk's data is available in the load FIFO."""
+        if chunk < self.commit_head:
+            return 0.0  # delivered and committed (element-wise consumers)
+        return self.chunk_ready.get(chunk, INFINITY)
+
+    def rename_read(self, chunk: int) -> None:
+        self.spec_head = max(self.spec_head, chunk + 1)
+
+    def commit_read(self, chunk: int) -> None:
+        self.commit_head = max(self.commit_head, chunk + 1)
+        self.chunk_ready.pop(chunk, None)
+
+    def squash_to(self, chunk: int) -> None:
+        """Revert the speculative pointer to the commit point (§IV-A):
+        buffered data stays valid and is re-consumed without new loads."""
+        self.spec_head = max(self.commit_head, chunk)
+
+    # -- Store-FIFO interface ------------------------------------------------------
+
+    def reserve_store(self) -> bool:
+        """Reserve one Store FIFO entry at rename; False when full."""
+        if self.store_reserved - self.store_drained >= self.fifo_depth:
+            return False
+        self.store_reserved += 1
+        return True
+
+    def drain_store(self) -> None:
+        self.store_drained += 1
+
+    def terminate(self) -> None:
+        self.terminated = True
+        self.chunk_ready.clear()

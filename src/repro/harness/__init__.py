@@ -1,0 +1,39 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+from typing import Callable, Dict
+
+from repro.harness import extensions, fig8, overheads, sensitivity
+from repro.harness.report import ExperimentResult
+from repro.harness.runner import Runner, RunRecord
+
+#: experiment id -> callable(runner) -> ExperimentResult
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": overheads.table1,
+    "fig8-table": fig8.benchmark_table,
+    "fig8a": fig8.instruction_reduction,
+    "fig8b": fig8.speedup,
+    "fig8c": fig8.rename_blocks,
+    "fig8d": fig8.bus_utilization,
+    "fig8e": fig8.unrolling,
+    "fig9": sensitivity.vector_registers,
+    "fig10": sensitivity.fifo_depth,
+    "fig11": sensitivity.stream_cache_level,
+    "overheads": overheads.storage_overheads,
+    "ext-rvv": extensions.rvv_comparison,
+    "ext-vl": extensions.vector_length_sweep,
+    "ext-shared-fifo": extensions.shared_fifo,
+}
+
+
+def run_experiment(name: str, runner: Runner = None) -> ExperimentResult:
+    if runner is None:
+        runner = Runner()
+    return EXPERIMENTS[name](runner)
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "RunRecord",
+    "Runner",
+    "run_experiment",
+]

@@ -1,0 +1,72 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness                 # everything, full scale
+    python -m repro.harness fig8b fig9      # selected experiments
+    python -m repro.harness --scale 0.5     # smaller workloads (faster)
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness import EXPERIMENTS, Runner, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the UVE paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"experiment ids (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", default="",
+                        help="also write all results as JSON")
+    parser.add_argument("--check", metavar="RESULTS_JSON", default="",
+                        help="validate a previously exported campaign "
+                             "against the paper's shapes and exit")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        from repro.harness.checks import validate_results
+        report = validate_results(args.check)
+        print(report.render())
+        return 0 if report.ok else 1
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    runner = Runner(scale=args.scale, seed=args.seed)
+    collected = []
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, runner)
+        collected.append(result)
+        print(result.render())
+        print(f"  [{time.time() - start:.1f}s]\n")
+    if args.json:
+        payload = {
+            "scale": args.scale,
+            "seed": args.seed,
+            "experiments": [r.to_dict() for r in collected],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Automated shape validation of a results.json campaign.
+
+``python -m repro.harness --check results.json`` (or
+:func:`validate_results`) asserts the qualitative claims of the paper —
+who wins, orderings, flat-vs-growing sensitivities — against a previously
+exported campaign, without pinning fragile absolute numbers.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CheckReport:
+    passed: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+
+    def check(self, condition: bool, description: str) -> None:
+        (self.passed if condition else self.failed).append(description)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def render(self) -> str:
+        lines = [f"{len(self.passed)} checks passed, "
+                 f"{len(self.failed)} failed"]
+        for item in self.failed:
+            lines.append(f"  FAIL: {item}")
+        return "\n".join(lines)
+
+
+def _experiments(payload: dict) -> Dict[str, dict]:
+    return {e["experiment"]: e for e in payload["experiments"]}
+
+
+def _speedup(cell: str) -> float:
+    return float(str(cell).rstrip("x"))
+
+
+def validate_results(path: str) -> CheckReport:
+    """Validate an exported campaign against the paper's shapes."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    exps = _experiments(payload)
+    report = CheckReport()
+
+    if "fig8a" in exps:
+        rows = [r for r in exps["fig8a"]["rows"] if r[0]]
+        for row in rows:
+            reduction = float(str(row[5]).rstrip("%"))
+            report.check(
+                reduction > 0,
+                f"fig8a: {row[1]} commits fewer instructions than SVE",
+            )
+        avg_row = [r for r in exps["fig8a"]["rows"] if r[1] == "average"][0]
+        avg = float(str(avg_row[5]).rstrip("%"))
+        report.check(40 <= avg <= 80,
+                     f"fig8a: average reduction {avg}% in the paper's range")
+
+    if "fig8b" in exps:
+        rows = [r for r in exps["fig8b"]["rows"] if r[0]]
+        for row in rows:
+            report.check(
+                _speedup(row[2]) >= 1.0,
+                f"fig8b: UVE at least matches SVE on {row[1]}",
+            )
+        starred = [r for r in rows if r[4] == "*" and r[1] != "seidel-2d"]
+        report.check(
+            all(_speedup(r[2]) > 5 for r in starred),
+            "fig8b: order-of-magnitude spikes on compiler-unvectorized "
+            "benchmarks",
+        )
+
+    if "fig8d" in exps:
+        by_name = {r[1]: r for r in exps["fig8d"]["rows"]}
+        for name in ("memcpy", "stream"):
+            row = by_name[name]
+            report.check(
+                float(row[2]) > float(row[3]),
+                f"fig8d: UVE uses more DRAM bandwidth on {name}",
+            )
+        for name in ("gemm", "jacobi-1d", "irsmk"):
+            row = by_name[name]
+            report.check(
+                float(row[2]) < 0.1 and float(row[3]) < 0.1,
+                f"fig8d: {name} stays L2-bound on both cores",
+            )
+
+    if "fig8e" in exps:
+        speeds = [_speedup(r[2]) for r in exps["fig8e"]["rows"]]
+        report.check(speeds[0] == 1.0, "fig8e: factor 1 is the baseline")
+        report.check(max(speeds) > 1.2,
+                     "fig8e: unrolling yields a real speed-up")
+
+    if "fig9" in exps:
+        for row in exps["fig9"]["rows"]:
+            name, isa, *cells = row
+            values = [_speedup(c) for c in cells]
+            if isa == "uve":
+                report.check(
+                    max(values) - min(values) < 0.1,
+                    f"fig9: UVE flat in vector PRs on {name}",
+                )
+        sve_gains = [
+            _speedup(row[4]) for row in exps["fig9"]["rows"]
+            if row[1] == "sve"
+        ]
+        report.check(max(sve_gains) > 1.2,
+                     "fig9: SVE gains from more vector PRs somewhere")
+
+    if "fig10" in exps:
+        for row in exps["fig10"]["rows"]:
+            name, *cells = row
+            values = [_speedup(c) for c in cells]
+            report.check(values[0] < 0.8,
+                         f"fig10: depth 2 clearly hurts {name}")
+            report.check(values[2] == 1.0,
+                         f"fig10: depth 8 is the baseline for {name}")
+
+    if "fig11" in exps:
+        for row in exps["fig11"]["rows"]:
+            name = row[0]
+            l2 = _speedup(row[2])
+            dram = _speedup(row[3])
+            report.check(l2 == 1.0, f"fig11: L2 is the baseline for {name}")
+            report.check(dram <= 1.0,
+                         f"fig11: DRAM streaming never beats L2 on {name}")
+
+    if "overheads" in exps:
+        evaluated = exps["overheads"]["rows"][0]
+        reduced = exps["overheads"]["rows"][1]
+        report.check(
+            float(evaluated[5]) < 0.6,
+            "overheads: evaluated engine under ~1/2 of an L1",
+        )
+        report.check(
+            float(reduced[5]) <= 0.12,
+            "overheads: reduced configuration around 10% of an L1",
+        )
+
+    if "ext-rvv" in exps:
+        for row in exps["ext-rvv"]["rows"]:
+            report.check(
+                _speedup(row[2]) >= 1.0,
+                f"ext-rvv: UVE at least matches RVV on {row[0]}",
+            )
+
+    return report

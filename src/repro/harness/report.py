@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment results."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: a title, column headers, and rows."""
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for ``python -m repro.harness --json``)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [
+            f"== {self.experiment}: {self.title} ==",
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths)),
+            sep,
+        ]
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

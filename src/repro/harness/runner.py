@@ -1,0 +1,84 @@
+"""Experiment runner: executes kernel × ISA × configuration simulations,
+verifies numerical correctness, and caches results within a process so a
+figure that reuses another figure's runs does not resimulate them.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cpu.config import MachineConfig, baseline_machine, uve_machine
+from repro.kernels import get_kernel
+from repro.sim.simulator import SimulationResult, Simulator
+
+
+@dataclass
+class RunRecord:
+    """The measurements a single simulation contributes to the figures."""
+
+    kernel: str
+    letter: str
+    isa: str
+    committed: int
+    cycles: float
+    ipc: float
+    rename_blocks_per_cycle: float
+    bus_utilization: float
+    dram_bytes: int
+    mispredict_rate: float
+    fifo_occupancy: float
+    l1_miss_rate: float
+    l2_miss_rate: float
+
+
+class Runner:
+    """Runs and caches simulations for the experiment harness."""
+
+    def __init__(self, scale: float = 1.0, seed: int = 0) -> None:
+        self.scale = scale
+        self.seed = seed
+        self._cache: Dict[tuple, RunRecord] = {}
+
+    def config_for(self, isa: str) -> MachineConfig:
+        return uve_machine() if isa == "uve" else baseline_machine()
+
+    def run(
+        self,
+        kernel_name: str,
+        isa: str,
+        config: Optional[MachineConfig] = None,
+    ) -> RunRecord:
+        cfg = config if config is not None else self.config_for(isa)
+        key = (kernel_name, isa, repr(cfg), self.scale, self.seed)
+        record = self._cache.get(key)
+        if record is None:
+            record = self._simulate(kernel_name, isa, cfg)
+            self._cache[key] = record
+        return record
+
+    def _simulate(
+        self, kernel_name: str, isa: str, cfg: MachineConfig
+    ) -> RunRecord:
+        kernel = get_kernel(kernel_name)
+        wl = kernel.workload(seed=self.seed, scale=self.scale)
+        program = kernel.build(isa, wl, cfg.vector_bits)
+        result: SimulationResult = Simulator(program, wl.memory, cfg).run()
+        wl.verify()
+        engine = result.pipeline.engine
+        return RunRecord(
+            kernel=kernel_name,
+            letter=kernel.letter,
+            isa=isa,
+            committed=result.committed,
+            cycles=result.cycles,
+            ipc=result.ipc,
+            rename_blocks_per_cycle=result.rename_blocks_per_cycle,
+            bus_utilization=result.bus_utilization,
+            dram_bytes=result.hierarchy.dram.total_bytes,
+            mispredict_rate=result.timing.mispredict_rate,
+            fifo_occupancy=(
+                engine.stats.mean_fifo_occupancy if engine is not None else 0.0
+            ),
+            l1_miss_rate=result.hierarchy.l1d.stats.miss_rate,
+            l2_miss_rate=result.hierarchy.l2.stats.miss_rate,
+        )

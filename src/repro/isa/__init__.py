@@ -1,0 +1,26 @@
+"""Instruction sets: UVE (§III) plus scalar, SVE-like and NEON-like
+baselines sharing one semantic layer."""
+from repro.isa.instructions import Instruction, Operand
+from repro.isa.microop import FuCluster, OpClass
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import P0, X0, Reg, RegClass, f, p, parse_reg, u, x
+from repro.isa.vector import VecValue
+
+__all__ = [
+    "FuCluster",
+    "Instruction",
+    "OpClass",
+    "Operand",
+    "P0",
+    "Program",
+    "ProgramBuilder",
+    "Reg",
+    "RegClass",
+    "VecValue",
+    "X0",
+    "f",
+    "p",
+    "parse_reg",
+    "u",
+    "x",
+]

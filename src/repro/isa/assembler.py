@@ -1,0 +1,446 @@
+"""Text assembler for UVE assembly (plus the scalar base ISA).
+
+Accepts the syntax used in the paper's listings (Figs. 1.D, 2.D, 4)::
+
+    ; saxpy -- y = a*x + y
+        ss.ld.w     u0, 1024, 256, 1
+        ss.ld.w     u1, 2048, 256, 1
+        ss.st.w     u2, 2048, 256, 1
+        so.v.dup.w  u3, f0
+    loop:
+        so.a.mul.fp u4, u3, u0
+        so.a.add.fp u2, u4, u1
+        so.b.nend   u0, loop
+        halt
+
+Operands are registers (``u0``/``x3``/``f1``/``p2``), integer or float
+immediates, or label names.  ``#`` and ``;`` introduce comments.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.types import ElementType
+from repro.errors import AssemblerError
+from repro.isa import neon_ops, rvv_ops, scalar_ops, sve_ops, uve_ops
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import Reg, parse_reg
+from repro.streams.descriptor import (
+    IndirectBehavior,
+    Param,
+    StaticBehavior,
+)
+from repro.streams.pattern import Direction, MemLevel
+
+
+def _operand(token: str):
+    token = token.strip().rstrip(",")
+    if not token:
+        raise AssemblerError("empty operand")
+    lowered = token.lower()
+    first = lowered[0]
+    if first in "uxfpazt" and any(ch.isdigit() for ch in lowered):
+        try:
+            return parse_reg(lowered)
+        except Exception:
+            pass
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token  # label
+
+
+#: Assembly width suffixes.  The paper's {b|h|w|d} encode *widths* only
+#: (interpretation comes from the compute op); this typed model defaults
+#: word/double-word to floating point (the dominant usage) and offers
+#: ``iw``/``id`` for integer streams.
+_ASM_SUFFIXES = {
+    "b": ElementType.I8,
+    "h": ElementType.I16,
+    "w": ElementType.F32,
+    "d": ElementType.F64,
+    "iw": ElementType.I32,
+    "id": ElementType.I64,
+    "fw": ElementType.F32,
+    "fd": ElementType.F64,
+}
+
+
+def _etype(suffix: str) -> ElementType:
+    try:
+        return _ASM_SUFFIXES[suffix]
+    except KeyError:
+        raise AssemblerError(
+            f"unknown element-width suffix {suffix!r} "
+            f"(expected one of {sorted(_ASM_SUFFIXES)})"
+        ) from None
+
+
+_PARAMS = {"offset": Param.OFFSET, "size": Param.SIZE, "stride": Param.STRIDE}
+_STATIC_BEH = {"add": StaticBehavior.ADD, "sub": StaticBehavior.SUB}
+_IND_BEH = {
+    "set-add": IndirectBehavior.SET_ADD,
+    "set-sub": IndirectBehavior.SET_SUB,
+    "set-value": IndirectBehavior.SET_VALUE,
+}
+_MEM_LEVELS = {"mem1": MemLevel.L1, "mem2": MemLevel.L2, "mem3": MemLevel.MEM}
+
+
+class Assembler:
+    """Assembles UVE (and scalar base) source text into a Program."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Callable] = {}
+        self._register_handlers()
+
+    # -- Public API -----------------------------------------------------------
+
+    def assemble(self, source: str, name: str = "asm") -> Program:
+        builder = ProgramBuilder(name)
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";", 1)[0].split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                self._line(builder, line)
+            except AssemblerError as exc:
+                raise AssemblerError(f"line {lineno}: {exc}") from None
+        return builder.build()
+
+    # -- Line handling ----------------------------------------------------------
+
+    def _line(self, builder: ProgramBuilder, line: str) -> None:
+        while ":" in line.split()[0] if line.split() else False:
+            label, _, rest = line.partition(":")
+            builder.label(label.strip())
+            line = rest.strip()
+            if not line:
+                return
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = (
+            [_operand(tok) for tok in parts[1].split(",")] if len(parts) > 1 else []
+        )
+        handler = self._lookup(mnemonic)
+        builder.emit(handler(operands))
+
+    def _lookup(self, mnemonic: str):
+        handler = self._handlers.get(mnemonic)
+        if handler is not None:
+            return handler
+        # Width/op-parameterised mnemonics: resolve by prefix patterns.
+        for pattern, factory in self._parametric:
+            inst = factory(mnemonic)
+            if inst is not None:
+                return inst
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+
+    # -- Handler registration --------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        sc = scalar_ops
+        uve = uve_ops
+        h = self._handlers
+
+        def reg(op):
+            if not isinstance(op, Reg):
+                raise AssemblerError(f"expected a register, got {op!r}")
+            return op
+
+        def label(op):
+            if not isinstance(op, str):
+                raise AssemblerError(f"expected a label, got {op!r}")
+            return op
+
+        # Scalar base.
+        h["li"] = lambda ops: sc.Li(reg(ops[0]), int(ops[1]))
+        h["fli"] = lambda ops: sc.FLi(reg(ops[0]), float(ops[1]))
+        h["mv"] = lambda ops: sc.Move(reg(ops[0]), reg(ops[1]))
+        h["halt"] = lambda ops: sc.Halt()
+        h["nop"] = lambda ops: sc.Nop()
+        h["j"] = lambda ops: sc.Jump(label(ops[0]))
+        for op in ("add", "sub", "mul", "div", "and", "or", "xor", "sll", "srl",
+                   "min", "max"):
+            h[op] = (
+                lambda ops, _o=op: sc.IntOp(_o, reg(ops[0]), reg(ops[1]), ops[2])
+            )
+        for op in ("add", "sub", "mul", "div", "min", "max"):
+            h[f"f{op}"] = (
+                lambda ops, _o=op: sc.FOp(_o, reg(ops[0]), reg(ops[1]), ops[2])
+            )
+        h["fmadd"] = lambda ops: sc.FMac(reg(ops[0]), reg(ops[1]), reg(ops[2]))
+        h["fsqrt"] = lambda ops: sc.FUnary("sqrt", reg(ops[0]), reg(ops[1]))
+        for cond in ("eq", "ne", "lt", "le", "gt", "ge"):
+            h[f"b{cond}"] = (
+                lambda ops, _c=cond: sc.BranchCmp(
+                    _c, reg(ops[0]), ops[1], label(ops[2])
+                )
+            )
+        h["bnez"] = lambda ops: sc.BranchCmp("ne", reg(ops[0]), 0, label(ops[1]))
+        h["beqz"] = lambda ops: sc.BranchCmp("eq", reg(ops[0]), 0, label(ops[1]))
+
+        # Stream control / advanced.
+        h["ss.suspend"] = lambda ops: uve.SsCtl("suspend", reg(ops[0]))
+        h["ss.resume"] = lambda ops: uve.SsCtl("resume", reg(ops[0]))
+        h["ss.stop"] = lambda ops: uve.SsCtl("stop", reg(ops[0]))
+        h["ss.getvl"] = lambda ops: uve.SoGetVl(reg(ops[0]))
+        h["ss.setvl"] = lambda ops: uve.SoSetVl(reg(ops[0]), ops[1])
+        h["ss.app"] = lambda ops: uve.SsApp(reg(ops[0]), ops[1], ops[2], ops[3])
+        h["ss.end"] = lambda ops: uve.SsApp(
+            reg(ops[0]), ops[1], ops[2], ops[3], last=True
+        )
+        h["so.v.mv"] = lambda ops: uve.SoMove(reg(ops[0]), reg(ops[1]))
+
+        def modifier(ops, last):
+            target = _PARAMS.get(str(ops[1]).lower())
+            behavior = _STATIC_BEH.get(str(ops[2]).lower())
+            if target is None or behavior is None:
+                raise AssemblerError(
+                    f"bad modifier spec {ops[1]!r}/{ops[2]!r} "
+                    "(target in offset|size|stride, behavior in add|sub)"
+                )
+            return uve_ops.SsAppMod(
+                reg(ops[0]), target, behavior, ops[3], ops[4], last=last
+            )
+
+        h["ss.app.mod"] = lambda ops: modifier(ops, last=False)
+        h["ss.end.mod"] = lambda ops: modifier(ops, last=True)
+
+        def indirect(ops, last):
+            target = _PARAMS.get(str(ops[1]).lower())
+            behavior = _IND_BEH.get(str(ops[2]).lower())
+            if target is None or behavior is None:
+                raise AssemblerError(
+                    f"bad indirect spec {ops[1]!r}/{ops[2]!r}"
+                )
+            return uve_ops.SsAppInd(
+                reg(ops[0]), target, behavior, reg(ops[3]), last=last
+            )
+
+        h["ss.app.ind"] = lambda ops: indirect(ops, last=False)
+        h["ss.end.ind"] = lambda ops: indirect(ops, last=True)
+
+        h["so.b.nend"] = lambda ops: uve.SoBranchEnd(
+            reg(ops[0]), label(ops[1]), negate=True
+        )
+        h["so.b.end"] = lambda ops: uve.SoBranchEnd(
+            reg(ops[0]), label(ops[1]), negate=False
+        )
+
+        # -- SVE-like mnemonics (the baseline ISA, Fig. 1.B) -------------
+        sve = sve_ops
+        h["whilelt"] = lambda ops: sve.WhileLt(reg(ops[0]), reg(ops[1]),
+                                               reg(ops[2]))
+        h["ptrue"] = lambda ops: sve.PTrue(reg(ops[0]))
+        h["ld1w"] = lambda ops: sve.Ld1(
+            reg(ops[0]), reg(ops[1]), reg(ops[2]),
+            index=ops[3] if len(ops) > 3 else None,
+        )
+        h["st1w"] = lambda ops: sve.St1(
+            reg(ops[0]), reg(ops[1]), reg(ops[2]),
+            index=ops[3] if len(ops) > 3 else None,
+        )
+        h["ld1rw"] = lambda ops: sve.Ld1R(reg(ops[0]), reg(ops[1]), reg(ops[2]))
+        h["fmla"] = lambda ops: sve.Fmla(reg(ops[0]), reg(ops[1]),
+                                         reg(ops[2]), reg(ops[3]))
+        h["dup"] = lambda ops: sve.Dup(reg(ops[0]), ops[1])
+        h["index"] = lambda ops: sve.Index(reg(ops[0]), ops[1], ops[2])
+        h["incw"] = lambda ops: sve.IncElems(reg(ops[0]))
+        h["cntw"] = lambda ops: sve.CntElems(reg(ops[0]))
+        h["b.first"] = lambda ops: sve.BranchPred("first", reg(ops[0]),
+                                                  label(ops[1]))
+        h["b.any"] = lambda ops: sve.BranchPred("any", reg(ops[0]),
+                                                label(ops[1]))
+        h["b.none"] = lambda ops: sve.BranchPred("none", reg(ops[0]),
+                                                 label(ops[1]))
+        h["faddv"] = lambda ops: sve.Red("add", reg(ops[0]), reg(ops[1]),
+                                         reg(ops[2]))
+        h["fmaxv"] = lambda ops: sve.Red("max", reg(ops[0]), reg(ops[1]),
+                                         reg(ops[2]))
+
+        # -- NEON-like mnemonics -------------------------------------------
+        neon = neon_ops
+        h["ldr.q"] = lambda ops: neon.NVLoad(
+            reg(ops[0]), reg(ops[1]), ops[2] if len(ops) > 2 else 0
+        )
+        h["ldr.q!"] = lambda ops: neon.NVLoad(reg(ops[0]), reg(ops[1]),
+                                              post_inc=True)
+        h["str.q"] = lambda ops: neon.NVStore(
+            reg(ops[0]), reg(ops[1]), ops[2] if len(ops) > 2 else 0
+        )
+        h["str.q!"] = lambda ops: neon.NVStore(reg(ops[0]), reg(ops[1]),
+                                               post_inc=True)
+        h["fmla.4s"] = lambda ops: neon.NVFma(reg(ops[0]), reg(ops[1]),
+                                              reg(ops[2]))
+        h["dup.4s"] = lambda ops: neon.NVDup(reg(ops[0]), ops[1])
+
+        # -- RVV-like mnemonics (Fig. 1.C) -----------------------------------
+        rvv = rvv_ops
+        h["vsetvli"] = lambda ops: rvv.VSetVli(reg(ops[0]), ops[1])
+        h["vle.v"] = lambda ops: rvv.VlLoad(reg(ops[0]), reg(ops[1]))
+        h["vse.v"] = lambda ops: rvv.VlStore(reg(ops[0]), reg(ops[1]))
+        h["vlse.v"] = lambda ops: rvv.VlLoadStrided(reg(ops[0]), reg(ops[1]),
+                                                    reg(ops[2]))
+        h["vfmacc.vf"] = lambda ops: rvv.VMaccVF(reg(ops[0]), reg(ops[1]),
+                                                 reg(ops[2]))
+        h["vfmacc.vv"] = lambda ops: rvv.VMaccVV(reg(ops[0]), reg(ops[1]),
+                                                 reg(ops[2]))
+        h["vfmv.v.f"] = lambda ops: rvv.VDup(reg(ops[0]), ops[1])
+
+        # Parametric mnemonics (width/operation embedded in the name).
+        self._parametric: List = [
+            ("ss.ld/st", self._stream_config),
+            ("so.v.dup", self._dup),
+            ("so.a", self._arith),
+            ("so.r", self._reduce),
+            ("so.b.dim", self._dim_branch),
+            ("so.v.tosc", self._toscalar),
+            ("so.v.fromsc", self._fromscalar),
+            ("so.p", self._predicate),
+            ("vop", self._rvv_arith),
+            ("sve-vop", self._sve_arith),
+        ]
+
+    # -- Parametric handler factories -------------------------------------------------
+
+    @staticmethod
+    def _stream_config(mnemonic: str):
+        parts = mnemonic.split(".")
+        if parts[0] != "ss" or parts[1] not in ("ld", "st"):
+            return None
+        direction = Direction.LOAD if parts[1] == "ld" else Direction.STORE
+        rest = parts[2:]
+        start_only = False
+        if rest and rest[0] == "sta":
+            start_only = True
+            rest = rest[1:]
+        mem_level = MemLevel.L2
+        if rest and rest[-1] in _MEM_LEVELS:
+            mem_level = _MEM_LEVELS[rest[-1]]
+            rest = rest[:-1]
+        if len(rest) != 1:
+            return None
+        etype = _etype(rest[0])
+
+        def handler(ops):
+            cls = uve_ops.SsSta if start_only else uve_ops.SsConfig1D
+            return cls(
+                ops[0], direction, ops[1], ops[2],
+                ops[3] if len(ops) > 3 else 1,
+                etype=etype, mem_level=mem_level,
+            )
+
+        return handler
+
+    @staticmethod
+    def _dup(mnemonic: str):
+        parts = mnemonic.split(".")
+        if parts[:3] != ["so", "v", "dup"] or len(parts) != 4:
+            return None
+        etype = _etype(parts[3])
+        return lambda ops: uve_ops.SoDup(ops[0], ops[1], etype=etype)
+
+    @staticmethod
+    def _arith(mnemonic: str):
+        parts = mnemonic.split(".")
+        if parts[:2] != ["so", "a"] or len(parts) != 4:
+            return None
+        op, kind = parts[2], parts[3]
+        if kind == "fp":
+            if op == "mac":
+                return lambda ops: uve_ops.SoMac(ops[0], ops[1], ops[2])
+            if op in ("sqrt", "neg", "abs"):
+                return lambda ops: uve_ops.SoUnary(op, ops[0], ops[1])
+            return lambda ops: uve_ops.SoOp(op, ops[0], ops[1], ops[2])
+        if kind == "sc":
+            if op == "mac":
+                return lambda ops: uve_ops.SoMacScalar(ops[0], ops[1], ops[2])
+            return lambda ops: uve_ops.SoOpScalar(op, ops[0], ops[1], ops[2])
+        return None
+
+    @staticmethod
+    def _reduce(mnemonic: str):
+        parts = mnemonic.split(".")
+        if parts[:2] != ["so", "r"] or len(parts) not in (3, 4):
+            return None
+        op = parts[2]
+        if len(parts) == 4 and parts[3] == "sc":
+            return lambda ops: uve_ops.SoRedScalar(op, ops[0], ops[1])
+        return lambda ops: uve_ops.SoRed(op, ops[0], ops[1])
+
+    @staticmethod
+    def _dim_branch(mnemonic: str):
+        # so.b.dim<k>c / so.b.dim<k>nc
+        prefix = "so.b.dim"
+        if not mnemonic.startswith(prefix):
+            return None
+        tail = mnemonic[len(prefix):]
+        if tail.endswith("nc"):
+            complete, digits = False, tail[:-2]
+        elif tail.endswith("c"):
+            complete, digits = True, tail[:-1]
+        else:
+            return None
+        if not digits.isdigit():
+            return None
+        dim = int(digits)
+        return lambda ops: uve_ops.SoBranchDim(
+            ops[0], dim, ops[1], complete=complete
+        )
+
+    @staticmethod
+    def _toscalar(mnemonic: str):
+        if mnemonic != "so.v.tosc":
+            return None
+        return lambda ops: uve_ops.SoScalarRead(ops[0], ops[1])
+
+    @staticmethod
+    def _fromscalar(mnemonic: str):
+        if mnemonic != "so.v.fromsc":
+            return None
+        return lambda ops: uve_ops.SoScalarWrite(ops[0], ops[1])
+
+    @staticmethod
+    def _rvv_arith(mnemonic: str):
+        # v<op>.vv / v<op>.vf
+        parts = mnemonic.split(".")
+        if len(parts) != 2 or not parts[0].startswith("v"):
+            return None
+        op, form = parts[0][1:], parts[1]
+        if op not in ("add", "sub", "mul", "div", "min", "max"):
+            return None
+        if form == "vv":
+            return lambda ops: rvv_ops.VOpVV(op, ops[0], ops[1], ops[2])
+        if form == "vf":
+            return lambda ops: rvv_ops.VOpVF(op, ops[0], ops[1], ops[2])
+        return None
+
+    @staticmethod
+    def _sve_arith(mnemonic: str):
+        # f<op>m -- predicated SVE arithmetic: fadd.m vd, pg, vs1, vs2
+        if not mnemonic.startswith("f") or not mnemonic.endswith(".m"):
+            return None
+        op = mnemonic[1:-2]
+        if op not in ("add", "sub", "mul", "div", "min", "max"):
+            return None
+        return lambda ops: sve_ops.VOp(op, ops[0], ops[1], ops[2], ops[3])
+
+    @staticmethod
+    def _predicate(mnemonic: str):
+        parts = mnemonic.split(".")
+        if parts[:2] != ["so", "p"] or len(parts) != 3:
+            return None
+        op = parts[2]
+        if op == "not":
+            return lambda ops: uve_ops.SoPredNot(ops[0], ops[1])
+        return lambda ops: uve_ops.SoPredComp(op, ops[0], ops[1], ops[2])
+
+
+def assemble(source: str, name: str = "asm") -> Program:
+    """Assemble UVE source text into an executable Program."""
+    return Assembler().assemble(source, name)

@@ -1,0 +1,63 @@
+"""Instruction base class and operand helpers.
+
+Every concrete instruction implements functional semantics in
+``execute(state)`` (the *state* protocol is provided by
+:class:`repro.sim.functional.MachineState`) and exposes the architectural
+registers it reads/writes so the timing model can track dependencies.
+``execute`` returns a label name when the instruction is a taken branch,
+else ``None``.
+"""
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple, Union
+
+from repro.isa.microop import OpClass
+from repro.isa.registers import Reg
+
+#: A scalar operand: an architectural register or an immediate.
+Operand = Union[Reg, int, float]
+
+
+def operand_regs(*operands: Operand) -> Tuple[Reg, ...]:
+    """The register operands among ``operands`` (immediates dropped)."""
+    return tuple(op for op in operands if isinstance(op, Reg))
+
+
+class Instruction(ABC):
+    """One architectural instruction (= one µOp, paper §III design)."""
+
+    #: Functional-unit class; concrete classes set or compute this.
+    opclass: OpClass = OpClass.NOP
+
+    @abstractmethod
+    def execute(self, state) -> Optional[str]:
+        """Apply semantics to ``state``; return taken-branch label or None."""
+
+    @property
+    def dests(self) -> Tuple[Reg, ...]:
+        """Architectural registers written."""
+        return ()
+
+    @property
+    def srcs(self) -> Tuple[Reg, ...]:
+        """Architectural registers read."""
+        return ()
+
+    @property
+    def early_dests(self) -> Tuple[Reg, ...]:
+        """Destinations produced in the first execute cycle (e.g. the
+        post-incremented base register of a load), available to
+        dependents before the op's full completion."""
+        return ()
+
+    @property
+    def label_target(self) -> Optional[str]:
+        """Branch-target label, if this is a control instruction."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+    def __str__(self) -> str:  # pragma: no cover - overridden by subclasses
+        return type(self).__name__.lower()

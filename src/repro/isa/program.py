@@ -1,0 +1,91 @@
+"""Programs: instruction sequences with labels.
+
+:class:`ProgramBuilder` is the assembler-level API used by the kernel
+implementations; :class:`Program` is the immutable executable form
+consumed by the functional simulator.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import IsaError
+from repro.isa.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class Program:
+    """An executable instruction sequence."""
+
+    instructions: Sequence[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "instructions", tuple(self.instructions))
+        for label, index in self.labels.items():
+            if not 0 <= index <= len(self.instructions):
+                raise IsaError(f"label {label!r} points outside the program")
+        for pc, inst in enumerate(self.instructions):
+            target = inst.label_target
+            if target is not None and target not in self.labels:
+                raise IsaError(
+                    f"instruction {pc} ({inst}) references undefined label "
+                    f"{target!r}"
+                )
+
+    def target(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise IsaError(f"undefined label {label!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def listing(self) -> str:
+        """Human-readable assembly-style listing."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for pc, inst in enumerate(self.instructions):
+            for label in by_index.get(pc, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {inst}")
+        for label in by_index.get(len(self.instructions), ()):
+            lines.append(f"{label}:")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`Program` (an assembler without text).
+
+    >>> b = ProgramBuilder("demo")
+    >>> b.label("loop")
+    >>> b.emit(some_instruction)
+    >>> program = b.build()
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self._name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise IsaError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+
+    def emit(self, *instructions: Instruction) -> None:
+        for inst in instructions:
+            if not isinstance(inst, Instruction):
+                raise IsaError(f"not an instruction: {inst!r}")
+            self._instructions.append(inst)
+
+    def build(self) -> Program:
+        return Program(
+            instructions=list(self._instructions),
+            labels=dict(self._labels),
+            name=self._name,
+        )

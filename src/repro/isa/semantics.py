@@ -1,0 +1,113 @@
+"""Shared element-wise operator semantics.
+
+All three vector ISAs (UVE, SVE-like, NEON-like) and the scalar base ISA
+compute through this table, so numerical behaviour is identical across
+ISAs by construction — differences between ISAs are purely architectural
+(instruction counts, predication, streaming).
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import IsaError
+from repro.isa.microop import OpClass
+
+#: Binary element-wise operators: (a, b) -> result, numpy-broadcastable.
+BINARY_OPS: Dict[str, Callable] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    "min": np.minimum,
+    "max": np.maximum,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: a << b,
+    "srl": lambda a, b: a >> b,
+}
+
+#: Unary element-wise operators.
+UNARY_OPS: Dict[str, Callable] = {
+    "neg": lambda a: -a,
+    "abs": np.abs,
+    "sqrt": np.sqrt,
+    "not": lambda a: ~a,
+    "mov": lambda a: a,
+}
+
+#: Reduction operators: vector -> scalar.
+REDUCE_OPS: Dict[str, Callable] = {
+    "add": np.sum,
+    "min": np.min,
+    "max": np.max,
+    "mul": np.prod,
+}
+
+#: Comparison operators (predicate generation).
+COMPARE_OPS: Dict[str, Callable] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+#: OpClass of a binary vector operator (for FU selection / latency).
+_VEC_CLASS = {
+    "mul": OpClass.VEC_MUL,
+    "div": OpClass.VEC_DIV,
+}
+
+_FP_CLASS = {
+    "mul": OpClass.FP_MUL,
+    "div": OpClass.FP_DIV,
+}
+
+_INT_CLASS = {
+    "mul": OpClass.INT_MUL,
+    "div": OpClass.INT_DIV,
+}
+
+
+def binary(op: str) -> Callable:
+    try:
+        return BINARY_OPS[op]
+    except KeyError:
+        raise IsaError(f"unknown binary operator {op!r}") from None
+
+
+def unary(op: str) -> Callable:
+    try:
+        return UNARY_OPS[op]
+    except KeyError:
+        raise IsaError(f"unknown unary operator {op!r}") from None
+
+
+def reduce_fn(op: str) -> Callable:
+    try:
+        return REDUCE_OPS[op]
+    except KeyError:
+        raise IsaError(f"unknown reduction operator {op!r}") from None
+
+
+def compare(op: str) -> Callable:
+    try:
+        return COMPARE_OPS[op]
+    except KeyError:
+        raise IsaError(f"unknown comparison operator {op!r}") from None
+
+
+def vector_opclass(op: str) -> OpClass:
+    return _VEC_CLASS.get(op, OpClass.VEC_ALU)
+
+
+def scalar_fp_opclass(op: str) -> OpClass:
+    return _FP_CLASS.get(op, OpClass.FP_ALU)
+
+
+def scalar_int_opclass(op: str) -> OpClass:
+    return _INT_CLASS.get(op, OpClass.INT_ALU)

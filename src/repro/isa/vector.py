@@ -1,0 +1,55 @@
+"""Vector register values.
+
+A :class:`VecValue` is the architectural content of one vector register:
+a lane array (NumPy, typed by the element type) plus a per-lane validity
+mask.  Invalid lanes exist because of predication and because streams pad
+partial tails (paper feature F5); they read as zero and are never stored.
+"""
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.common.types import ElementType
+
+
+class VecValue(NamedTuple):
+    data: np.ndarray
+    valid: np.ndarray
+
+    @property
+    def lanes(self) -> int:
+        return len(self.data)
+
+    @property
+    def valid_count(self) -> int:
+        return int(self.valid.sum())
+
+    def active(self) -> np.ndarray:
+        """Lane values where valid (compacted)."""
+        return self.data[self.valid]
+
+
+def zeros(lanes: int, etype: ElementType) -> VecValue:
+    """An all-invalid, all-zero vector value."""
+    return VecValue(
+        np.zeros(lanes, dtype=etype.dtype), np.zeros(lanes, dtype=bool)
+    )
+
+
+def full(lanes: int, etype: ElementType, value) -> VecValue:
+    """A fully-valid broadcast value."""
+    return VecValue(
+        np.full(lanes, value, dtype=etype.dtype), np.ones(lanes, dtype=bool)
+    )
+
+
+def from_list(values, etype: ElementType, lanes: int) -> VecValue:
+    """Pack ``values`` into the first lanes; the tail is invalid."""
+    data = np.zeros(lanes, dtype=etype.dtype)
+    valid = np.zeros(lanes, dtype=bool)
+    n = len(values)
+    data[:n] = values
+    valid[:n] = True
+    return VecValue(data, valid)

@@ -1,0 +1,12 @@
+"""The 19 evaluation kernels (paper §V, Fig. 8)."""
+from repro.kernels.base import ISAS, Kernel, Workload
+from repro.kernels.registry import all_kernels, get_kernel, kernel_names
+
+__all__ = [
+    "ISAS",
+    "Kernel",
+    "Workload",
+    "all_kernels",
+    "get_kernel",
+    "kernel_names",
+]

@@ -1,0 +1,144 @@
+"""Kernel framework: workloads, per-ISA programs, verification.
+
+Each of the 19 evaluation benchmarks (paper Fig. 8, left table) is a
+:class:`Kernel` subclass providing a workload generator, a NumPy
+reference, and program builders for the three ISAs.  Benchmarks the ARM
+compiler failed to vectorize (marked * in the paper) return *scalar*
+programs for both baselines, as in the paper.
+"""
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.isa.program import Program
+from repro.memory.backing import Memory
+
+#: ISA identifiers of the paper's main comparison.
+ISAS = ("uve", "sve", "neon")
+
+#: all implemented ISAs (RVV is the Fig. 1.C comparator, provided for the
+#: extension experiment on the 1-D benchmark family).
+ALL_ISAS = ISAS + ("rvv",)
+
+
+@dataclass
+class Workload:
+    """One generated problem instance, resident in simulated memory."""
+
+    memory: Memory
+    #: name -> (base address, shape, numpy dtype)
+    arrays: Dict[str, Tuple[int, Tuple[int, ...], object]] = field(
+        default_factory=dict
+    )
+    #: name -> expected final contents (only for arrays the kernel writes)
+    expected: Dict[str, np.ndarray] = field(default_factory=dict)
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def addr(self, name: str) -> int:
+        return self.arrays[name][0]
+
+    def place(self, name: str, values: np.ndarray) -> int:
+        """Allocate and copy an array; returns its base address."""
+        addr = self.memory.alloc_array(values)
+        self.arrays[name] = (addr, values.shape, values.dtype)
+        return addr
+
+    def result(self, name: str) -> np.ndarray:
+        addr, shape, dtype = self.arrays[name]
+        return self.memory.ndarray(addr, shape, dtype)
+
+    def verify(self, rtol: float = 5e-3, atol: float = 1e-4) -> None:
+        # float32 kernels vs float64 references: chained products (3mm)
+        # legitimately accumulate relative error of order 1e-3.
+        """Compare every expected array against simulated memory."""
+        for name, want in self.expected.items():
+            got = self.result(name)
+            np.testing.assert_allclose(
+                got, want, rtol=rtol, atol=atol,
+                err_msg=f"array {name!r} mismatches the reference",
+            )
+
+
+class Kernel(ABC):
+    """One benchmark: metadata + workload + per-ISA programs."""
+
+    #: short identifier (the registry key) and the paper's letter.
+    name: str = ""
+    letter: str = ""
+    domain: str = ""
+    #: Fig. 8 left-table metadata.
+    n_streams: int = 0
+    max_nesting: int = 1
+    n_kernels: int = 1
+    pattern: str = "1D"
+    #: False for the benchmarks the ARM SVE compiler failed to vectorize.
+    sve_vectorized: bool = True
+    #: memory size to allocate for workloads.
+    memory_bytes: int = 1 << 23
+
+    @abstractmethod
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        """Generate a problem instance (arrays placed, reference computed)."""
+
+    @abstractmethod
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        """The UVE implementation."""
+
+    @abstractmethod
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        """Vectorized baseline (``isa`` is ``sve`` or ``neon``)."""
+
+    def build_scalar(self, wl: Workload) -> Program:
+        """Scalar fallback for SVE-unvectorized kernels."""
+        raise NotImplementedError(
+            f"{self.name} has no scalar implementation"
+        )
+
+    def build_rvv(self, wl: Workload) -> Program:
+        """RVV-like implementation (extension; 1-D benchmark family)."""
+        raise NotImplementedError(
+            f"{self.name} has no RVV implementation"
+        )
+
+    # -- Dispatch ------------------------------------------------------------
+
+    def build(self, isa: str, wl: Workload, vector_bits: int = 512) -> Program:
+        if isa == "uve":
+            return self.build_uve(wl, lanes=vector_bits // 32)
+        if isa in ("sve", "neon"):
+            if not self.sve_vectorized:
+                # The paper's compiler could not vectorize this kernel:
+                # the baseline core runs scalar code.
+                return self.build_scalar(wl)
+            return self.build_vector(wl, isa)
+        if isa == "rvv":
+            return self.build_rvv(wl)
+        raise ConfigError(f"unknown ISA {isa!r} (expected one of {ALL_ISAS})")
+
+    def fresh_memory(self) -> Memory:
+        return Memory(self.memory_bytes)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "letter": self.letter,
+            "name": self.name,
+            "domain": self.domain,
+            "streams": self.n_streams,
+            "nesting": self.max_nesting,
+            "kernels": self.n_kernels,
+            "pattern": self.pattern,
+            "sve_vectorized": self.sve_vectorized,
+        }
+
+
+def scaled(value: int, scale: float, minimum: int = 1, multiple: int = 1) -> int:
+    """Scale a problem dimension, keeping it a positive multiple."""
+    out = max(minimum, int(round(value * scale)))
+    if multiple > 1:
+        out = max(multiple, out - out % multiple)
+    return out

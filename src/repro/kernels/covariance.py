@@ -1,0 +1,206 @@
+"""Benchmark N: covariance (PolyBench, data mining) — starred: the ARM
+compiler failed to vectorize it, so the baselines run scalar code.
+
+Three phases: column means, mean-centering, and the covariance matrix
+``cov = centeredᵀ·centered / (npts-1)``.  We compute the full symmetric
+matrix in all implementations (the paper's triangular-output variant
+uses a static modifier; the triangular mechanism is exercised by
+trisolv and mamr-diag).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, u, x
+from repro.isa import scalar_ops as sc
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+
+
+class CovarianceKernel(Kernel):
+    name = "covariance"
+    letter = "N"
+    domain = "data mining"
+    n_streams = 8
+    max_nesting = 3
+    n_kernels = 3
+    pattern = "4D+static-modifier"
+    sve_vectorized = False
+
+    default_m = 16  # features (multiple of the vector length in elements)
+    default_npts = 32  # samples
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        m = scaled(self.default_m, scale, minimum=16, multiple=16)
+        npts = scaled(self.default_npts, scale, minimum=4)
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((npts, m)).astype(np.float32)
+        wl = Workload(memory=self.fresh_memory(), params={"m": m, "npts": npts})
+        wl.place("data", data)
+        wl.place("mean", np.zeros(m, dtype=np.float32))
+        wl.place("cov", np.zeros((m, m), dtype=np.float32))
+        d = data.astype(np.float64)
+        mean = d.mean(axis=0)
+        centered = d - mean
+        cov = centered.T @ centered / (npts - 1)
+        wl.expected["mean"] = mean.astype(np.float32)
+        wl.expected["data"] = centered.astype(np.float32)
+        wl.expected["cov"] = cov.astype(np.float32)
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        m, npts = wl.params["m"], wl.params["npts"]
+        tiles = m // lanes
+        de, me, ce = (wl.addr(k) // 4 for k in ("data", "mean", "cov"))
+        b = ProgramBuilder("covariance-uve")
+
+        # Phase 1: column means, tile by tile.
+        b.emit(
+            uve.SsSta(u(0), Direction.LOAD, de, lanes, 1, etype=F32),
+            uve.SsApp(u(0), 0, npts, m),
+            uve.SsApp(u(0), 0, tiles, lanes, last=True),
+            uve.SsConfig1D(u(1), Direction.STORE, me, m, 1, etype=F32),
+        )
+        b.label("mean_tile")
+        b.emit(uve.SoDup(u(5), 0.0, etype=F32))
+        b.label("mean_row")
+        b.emit(
+            uve.SoOp("add", u(5), u(5), u(0), etype=F32),
+            uve.SoBranchDim(u(0), 1, "mean_row", complete=False),
+            uve.SoOpScalar("mul", u(1), u(5), 1.0 / npts, etype=F32),
+            uve.SoBranchEnd(u(0), "mean_tile", negate=True),
+        )
+
+        # Phase 2: mean-centering (row streams; mean re-read per row).
+        b.emit(
+            uve.SsSta(u(0), Direction.LOAD, de, m, 1, etype=F32),
+            uve.SsApp(u(0), 0, npts, m, last=True),
+            uve.SsSta(u(1), Direction.LOAD, me, m, 1, etype=F32),
+            uve.SsApp(u(1), 0, npts, 0, last=True),
+            uve.SsSta(u(2), Direction.STORE, de, m, 1, etype=F32),
+            uve.SsApp(u(2), 0, npts, m, last=True),
+        )
+        b.label("center")
+        b.emit(
+            uve.SoOp("sub", u(2), u(0), u(1), etype=F32),
+            uve.SoBranchEnd(u(0), "center", negate=True),
+        )
+
+        # Phase 3: cov = centeredᵀ·centered / (npts-1) — gemm-shaped with
+        # a column-scan scalar stream for the transposed operand.
+        b.emit(
+            # B-like stream: data tiles, swept per (j1, tile, i).
+            uve.SsSta(u(0), Direction.LOAD, de, lanes, 1, etype=F32),
+            uve.SsApp(u(0), 0, npts, m),
+            uve.SsApp(u(0), 0, tiles, lanes),
+            uve.SsApp(u(0), 0, m, 0, last=True),
+            # A-like stream: column j1 of data, repeated per tile.
+            uve.SsSta(u(3), Direction.LOAD, de, npts, m, etype=F32),
+            uve.SsApp(u(3), 0, tiles, 0),
+            uve.SsApp(u(3), 0, m, 1, last=True),
+            # Output tiles of cov.
+            uve.SsSta(u(2), Direction.STORE, ce, lanes, 1, etype=F32),
+            uve.SsApp(u(2), 0, tiles, lanes),
+            uve.SsApp(u(2), 0, m, m, last=True),
+        )
+        b.label("cov_tile")
+        b.emit(uve.SoDup(u(5), 0.0, etype=F32))
+        b.label("cov_k")
+        b.emit(
+            uve.SoScalarRead(f(1), u(3), etype=F32),
+            uve.SoMacScalar(u(5), u(0), f(1), etype=F32),
+            uve.SoBranchDim(u(0), 1, "cov_k", complete=False),
+            uve.SoOpScalar("mul", u(2), u(5), 1.0 / (npts - 1), etype=F32),
+            uve.SoBranchEnd(u(0), "cov_tile", negate=True),
+        )
+        b.emit(sc.Halt())
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        raise AssertionError("covariance is not vectorized by the baselines")
+
+    def build_scalar(self, wl: Workload) -> Program:
+        m, npts = wl.params["m"], wl.params["npts"]
+        da, ma, ca = wl.addr("data"), wl.addr("mean"), wl.addr("cov")
+        b = ProgramBuilder("covariance-scalar")
+        xj, xi, xt = x(8), x(9), x(10)
+        # Phase 1: means.
+        b.emit(sc.Li(xj, 0))
+        b.label("mean_j")
+        b.emit(
+            sc.FLi(f(1), 0.0),
+            sc.IntOp("sll", xt, xj, 2),
+            sc.IntOp("add", xt, xt, da),
+            sc.Li(xi, 0),
+        )
+        b.label("mean_i")
+        b.emit(
+            sc.Load(f(2), xt, 0, etype=F32),
+            sc.FOp("add", f(1), f(1), f(2)),
+            sc.IntOp("add", xt, xt, 4 * m),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, npts, "mean_i"),
+        )
+        b.emit(
+            sc.FOp("mul", f(1), f(1), 1.0 / npts),
+            sc.IntOp("sll", xt, xj, 2),
+            sc.IntOp("add", xt, xt, ma),
+            sc.Store(f(1), xt, 0, etype=F32),
+            sc.IntOp("add", xj, xj, 1),
+            sc.BranchCmp("lt", xj, m, "mean_j"),
+        )
+        # Phase 2: centering.
+        xd, xm = x(11), x(12)
+        b.emit(sc.Li(xi, 0), sc.Li(xd, da))
+        b.label("center_i")
+        b.emit(sc.Li(xj, 0), sc.Li(xm, ma))
+        b.label("center_j")
+        b.emit(
+            sc.Load(f(1), xd, 0, etype=F32),
+            sc.Load(f(2), xm, 0, etype=F32),
+            sc.FOp("sub", f(1), f(1), f(2)),
+            sc.Store(f(1), xd, 0, etype=F32),
+            sc.IntOp("add", xd, xd, 4),
+            sc.IntOp("add", xm, xm, 4),
+            sc.IntOp("add", xj, xj, 1),
+            sc.BranchCmp("lt", xj, m, "center_j"),
+        )
+        b.emit(sc.IntOp("add", xi, xi, 1), sc.BranchCmp("lt", xi, npts, "center_i"))
+        # Phase 3: covariance (full matrix).
+        xj1, xj2, xc = x(13), x(14), x(15)
+        xp, xq = x(16), x(17)
+        b.emit(sc.Li(xj1, 0), sc.Li(xc, ca))
+        b.label("cov_j1")
+        b.emit(sc.Li(xj2, 0))
+        b.label("cov_j2")
+        b.emit(
+            sc.FLi(f(1), 0.0),
+            sc.IntOp("sll", xp, xj1, 2), sc.IntOp("add", xp, xp, da),
+            sc.IntOp("sll", xq, xj2, 2), sc.IntOp("add", xq, xq, da),
+            sc.Li(xi, 0),
+        )
+        b.label("cov_i")
+        b.emit(
+            sc.Load(f(2), xp, 0, etype=F32),
+            sc.Load(f(3), xq, 0, etype=F32),
+            sc.FMac(f(1), f(2), f(3)),
+            sc.IntOp("add", xp, xp, 4 * m),
+            sc.IntOp("add", xq, xq, 4 * m),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, npts, "cov_i"),
+        )
+        b.emit(
+            sc.FOp("mul", f(1), f(1), 1.0 / (npts - 1)),
+            sc.Store(f(1), xc, 0, etype=F32),
+            sc.IntOp("add", xc, xc, 4),
+            sc.IntOp("add", xj2, xj2, 1),
+            sc.BranchCmp("lt", xj2, m, "cov_j2"),
+        )
+        b.emit(sc.IntOp("add", xj1, xj1, 1), sc.BranchCmp("lt", xj1, m, "cov_j1"))
+        b.emit(sc.Halt())
+        return b.build()

@@ -1,0 +1,204 @@
+"""Generic builders for 1-D element-wise loops (memcpy/STREAM/saxpy).
+
+These produce the paper's canonical code shapes: UVE configures one
+stream per array and runs a branch-terminated loop with no loads, stores,
+or index arithmetic (Fig. 1.D); the SVE-like baseline runs the
+``whilelt``-predicated loop of Fig. 1.B; the NEON-like baseline runs a
+fixed-width loop plus a scalar tail.
+"""
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, p, u, x
+from repro.isa import neon_ops as neon
+from repro.isa import rvv_ops as rvv
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.streams.pattern import Direction, MemLevel
+
+F32 = ElementType.F32
+
+#: body(builder, in_regs, out_reg): emit vector ops computing the result;
+#: may return a different register to be stored (e.g. accumulating in
+#: place into an input register, as the paper's SVE saxpy does).
+VectorBody = Callable[[ProgramBuilder, List, object], Optional[object]]
+
+
+def build_uve(
+    name: str,
+    ins: List[int],
+    out: int,
+    n: int,
+    body: VectorBody,
+    *,
+    setup: Optional[Callable[[ProgramBuilder], None]] = None,
+    mem_level: MemLevel = MemLevel.L2,
+) -> Program:
+    """UVE: one input stream per source array, one output stream."""
+    b = ProgramBuilder(name)
+    in_regs = [u(i) for i in range(len(ins))]
+    out_reg = u(len(ins))
+    for reg, addr in zip(in_regs, ins):
+        b.emit(
+            uve.SsConfig1D(
+                reg, Direction.LOAD, addr // 4, n, 1, etype=F32,
+                mem_level=mem_level,
+            )
+        )
+    b.emit(
+        uve.SsConfig1D(
+            out_reg, Direction.STORE, out // 4, n, 1, etype=F32,
+            mem_level=mem_level,
+        )
+    )
+    if setup is not None:
+        setup(b)
+    b.label("loop")
+    body(b, in_regs, out_reg)
+    b.emit(uve.SoBranchEnd(in_regs[0], "loop", negate=True))
+    b.emit(sc.Halt())
+    return b.build()
+
+
+def build_sve(
+    name: str,
+    ins: List[int],
+    out: int,
+    n: int,
+    body: VectorBody,
+    *,
+    setup: Optional[Callable[[ProgramBuilder], None]] = None,
+) -> Program:
+    """SVE-like predicated loop (Fig. 1.B shape)."""
+    b = ProgramBuilder(name)
+    bound, idx = x(3), x(4)
+    bases = [x(8 + i) for i in range(len(ins))]
+    out_base = x(8 + len(ins))
+    b.emit(sc.Li(bound, n))
+    for base, addr in zip(bases, ins):
+        b.emit(sc.Li(base, addr))
+    b.emit(sc.Li(out_base, out))
+    b.emit(sc.Li(idx, 0))
+    b.emit(sve.WhileLt(p(1), idx, bound, etype=F32))
+    if setup is not None:
+        setup(b)
+    in_regs = [u(1 + i) for i in range(len(ins))]
+    out_reg = u(1 + len(ins))
+    b.label("loop")
+    for reg, base in zip(in_regs, bases):
+        b.emit(sve.Ld1(reg, p(1), base, index=idx, etype=F32))
+    store_reg = body(b, in_regs, out_reg) or out_reg
+    b.emit(
+        sve.St1(store_reg, p(1), out_base, index=idx, etype=F32),
+        sve.IncElems(idx, etype=F32),
+        sve.WhileLt(p(1), idx, bound, etype=F32),
+        sve.BranchPred("first", p(1), "loop", etype=F32),
+    )
+    b.emit(sc.Halt())
+    return b.build()
+
+
+def build_neon(
+    name: str,
+    ins: List[int],
+    out: int,
+    n: int,
+    body: VectorBody,
+    scalar_body: Callable[[ProgramBuilder, List, object], None],
+    *,
+    setup: Optional[Callable[[ProgramBuilder], None]] = None,
+) -> Program:
+    """NEON-like fixed 128-bit loop with post-increment plus scalar tail.
+
+    ``scalar_body(builder, in_fregs, out_freg)`` emits the scalar tail
+    computation on f-registers.
+    """
+    lanes = 4
+    b = ProgramBuilder(name)
+    main, idx = x(3), x(4)
+    bases = [x(8 + i) for i in range(len(ins))]
+    out_base = x(8 + len(ins))
+    b.emit(sc.Li(main, n - n % lanes))
+    for base, addr in zip(bases, ins):
+        b.emit(sc.Li(base, addr))
+    b.emit(sc.Li(out_base, out))
+    b.emit(sc.Li(idx, 0))
+    if setup is not None:
+        setup(b)
+    in_regs = [u(1 + i) for i in range(len(ins))]
+    out_reg = u(1 + len(ins))
+    b.emit(sc.BranchCmp("ge", idx, main, "tail"))
+    b.label("loop")
+    for reg, base in zip(in_regs, bases):
+        b.emit(neon.NVLoad(reg, base, etype=F32, post_inc=True))
+    store_reg = body(b, in_regs, out_reg) or out_reg
+    b.emit(
+        neon.NVStore(store_reg, out_base, etype=F32, post_inc=True),
+        sc.IntOp("add", idx, idx, lanes),
+        sc.BranchCmp("lt", idx, main, "loop"),
+    )
+    b.label("tail")
+    b.emit(sc.Li(x(5), n), sc.BranchCmp("ge", idx, x(5), "done"))
+    in_fregs = [f(1 + i) for i in range(len(ins))]
+    out_freg = f(1 + len(ins))
+    b.label("tail_loop")
+    for freg, base in zip(in_fregs, bases):
+        b.emit(sc.Load(freg, base, 0, etype=F32))
+    store_freg = scalar_body(b, in_fregs, out_freg) or out_freg
+    b.emit(sc.Store(store_freg, out_base, 0, etype=F32))
+    for base in bases + [out_base]:
+        b.emit(sc.IntOp("add", base, base, 4))
+    b.emit(
+        sc.IntOp("add", idx, idx, 1),
+        sc.BranchCmp("lt", idx, x(5), "tail_loop"),
+    )
+    b.label("done")
+    b.emit(sc.Halt())
+    return b.build()
+
+
+def build_rvv(
+    name: str,
+    ins: List[int],
+    out: int,
+    n: int,
+    body: VectorBody,
+    *,
+    setup: Optional[Callable[[ProgramBuilder], None]] = None,
+) -> Program:
+    """RVV-like strip-mined loop (Fig. 1.C shape): ``vsetvli`` grants the
+    iteration's vector length, loads/stores are unit-stride, and the
+    scalar unit bumps every base pointer explicitly."""
+    b = ProgramBuilder(name)
+    remaining, vl, step = x(3), x(4), x(5)
+    bases = [x(8 + i) for i in range(len(ins))]
+    out_base = x(8 + len(ins))
+    b.emit(sc.Li(remaining, n))
+    for base, addr in zip(bases, ins):
+        b.emit(sc.Li(base, addr))
+    b.emit(sc.Li(out_base, out))
+    if setup is not None:
+        setup(b)
+    in_regs = [u(1 + i) for i in range(len(ins))]
+    out_reg = u(1 + len(ins))
+    b.label("loop")
+    b.emit(rvv.VSetVli(vl, remaining, etype=F32))
+    for reg, base in zip(in_regs, bases):
+        b.emit(rvv.VlLoad(reg, base, etype=F32))
+    store_reg = body(b, in_regs, out_reg) or out_reg
+    b.emit(
+        rvv.VlStore(store_reg, out_base, etype=F32),
+        sc.IntOp("sub", remaining, remaining, vl),
+        sc.IntOp("sll", step, vl, 2),
+    )
+    for base in bases + [out_base]:
+        b.emit(sc.IntOp("add", base, base, step))
+    b.emit(
+        sc.BranchCmp("ne", remaining, 0, "loop"),
+        sc.Halt(),
+    )
+    return b.build()

@@ -1,0 +1,143 @@
+"""Benchmark S: floyd-warshall — all-pairs shortest paths (dynamic
+programming); starred: not vectorized by the ARM compiler, so the
+baselines run scalar code.
+
+The UVE build reconfigures its streams once per outer iteration *k* (the
+paper's prescribed approach for deep loop nests): the distance matrix is
+streamed in and out row-major, row *k* is re-read for every row *i*
+through a zero-stride outer dimension, and column *k* is consumed
+element-wise through the scalar-stream interface.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, u, x
+from repro.isa import scalar_ops as sc
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+
+
+def floyd_warshall_reference(d):
+    d = d.copy()
+    n = d.shape[0]
+    for k in range(n):
+        d = np.minimum(d, d[:, k : k + 1] + d[k : k + 1, :])
+    return d
+
+
+class FloydWarshallKernel(Kernel):
+    name = "floyd-warshall"
+    letter = "S"
+    domain = "dynamic programming"
+    n_streams = 4
+    max_nesting = 3
+    n_kernels = 1
+    pattern = "2D (reconfigured per k)"
+    sve_vectorized = False
+
+    default_n = 24
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=4)
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(1.0, 10.0, (n, n)).astype(np.float32)
+        np.fill_diagonal(d, 0.0)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("d", d)
+        wl.expected["d"] = floyd_warshall_reference(d.astype(np.float64)).astype(
+            np.float32
+        )
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+        de = wl.addr("d") // 4
+        b = ProgramBuilder("floyd-warshall-uve")
+        xk, xkrow, xkcol = x(8), x(9), x(10)
+        b.emit(sc.Li(xk, 0), sc.Li(xkrow, de), sc.Li(xkcol, de))
+        b.label("k_loop")
+        b.emit(
+            # d[i][j] in and out, row-major.
+            uve.SsSta(u(0), Direction.LOAD, de, n, 1, etype=F32),
+            uve.SsApp(u(0), 0, n, n, last=True),
+            uve.SsSta(u(1), Direction.STORE, de, n, 1, etype=F32),
+            uve.SsApp(u(1), 0, n, n, last=True),
+            # row k, re-read for every i (zero-stride outer dimension).
+            uve.SsSta(u(2), Direction.LOAD, xkrow, n, 1, etype=F32),
+            uve.SsApp(u(2), 0, n, 0, last=True),
+            # column k, one element per i.
+            uve.SsConfig1D(u(3), Direction.LOAD, xkcol, n, n, etype=F32),
+        )
+        b.label("i_loop")
+        b.emit(uve.SoScalarRead(f(1), u(3), etype=F32))  # d[i][k]
+        b.label("chunk")
+        b.emit(
+            uve.SoOpScalar("add", u(5), u(2), f(1), etype=F32),  # d[i][k]+d[k][j]
+            uve.SoOp("min", u(1), u(0), u(5), etype=F32),
+            uve.SoBranchDim(u(0), 0, "chunk", complete=False),
+            uve.SoBranchEnd(u(0), "i_loop", negate=True),
+        )
+        b.emit(
+            sc.IntOp("add", xkrow, xkrow, n),  # element offsets (not bytes)
+            sc.IntOp("add", xkcol, xkcol, 1),
+            sc.IntOp("add", xk, xk, 1),
+            sc.BranchCmp("lt", xk, n, "k_loop"),
+            sc.Halt(),
+        )
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        raise AssertionError("floyd-warshall is not vectorized by the baselines")
+
+    def build_scalar(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        da = wl.addr("d")
+        b = ProgramBuilder("floyd-warshall-scalar")
+        xk, xi, xj = x(8), x(9), x(10)
+        xrow, xkrow, xik = x(11), x(12), x(13)
+        b.emit(sc.Li(xk, 0), sc.Li(xkrow, da))
+        b.label("k_loop")
+        b.emit(
+            sc.Li(xi, 0),
+            sc.Li(xrow, da),
+            sc.IntOp("sll", xik, xk, 2),
+            sc.IntOp("add", xik, xik, da),  # &d[0][k]
+        )
+        b.label("i_loop")
+        b.emit(
+            sc.Load(f(1), xik, 0, etype=F32),  # d[i][k]
+            sc.Li(xj, 0),
+            sc.Move(x(14), xrow),
+            sc.Move(x(15), xkrow),
+        )
+        b.label("j_loop")
+        b.emit(
+            sc.Load(f(2), x(15), 0, etype=F32),  # d[k][j]
+            sc.Load(f(3), x(14), 0, etype=F32),  # d[i][j]
+            sc.FOp("add", f(2), f(2), f(1)),
+            sc.FOp("min", f(3), f(3), f(2)),
+            sc.Store(f(3), x(14), 0, etype=F32),
+            sc.IntOp("add", x(14), x(14), 4),
+            sc.IntOp("add", x(15), x(15), 4),
+            sc.IntOp("add", xj, xj, 1),
+            sc.BranchCmp("lt", xj, n, "j_loop"),
+        )
+        b.emit(
+            sc.IntOp("add", xrow, xrow, 4 * n),
+            sc.IntOp("add", xik, xik, 4 * n),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, n, "i_loop"),
+        )
+        b.emit(
+            sc.IntOp("add", xkrow, xkrow, 4 * n),
+            sc.IntOp("add", xk, xk, 1),
+            sc.BranchCmp("lt", xk, n, "k_loop"),
+            sc.Halt(),
+        )
+        return b.build()

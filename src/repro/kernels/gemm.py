@@ -1,0 +1,235 @@
+"""Benchmark D: gemm — C += A·B (BLAS-3, the paper's 4-D pattern case).
+
+The UVE build streams B with a 4-D descriptor (tile row, k, tile column,
+outer i with stride 0), streams A element-wise through the scalar-stream
+interface, and double-buffers C tiles through load/store streams; the
+3-instruction inner loop contains no address arithmetic at all.
+
+Matrix columns are padded to a multiple of the 512-bit vector width
+(standard leading-dimension practice), so every ISA sees identical
+layouts; the NumPy reference is computed on the padded arrays.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, p, u, x
+from repro.isa import neon_ops as neon
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+
+
+def emit_uve_gemm(b, tag, a_addr, b_addr, c_addr, n, k, m, lanes, beta_one,
+                  unroll=1):
+    """Emit one UVE gemm (``C = A·B`` or ``C += A·B``) into builder ``b``.
+
+    Registers u0-u5 are used; ``m`` must be a multiple of ``lanes``.
+    ``unroll`` replicates the inner-loop body (Fig. 8.E's experiment);
+    ``k`` must be divisible by it.
+    """
+    if k % unroll:
+        raise ValueError(f"unroll factor {unroll} does not divide K={k}")
+    tiles = m // lanes
+    ae, be, ce = a_addr // 4, b_addr // 4, c_addr // 4
+    b.emit(
+        # B: 4-D — tile row, k rows, tile column, repeat per output row.
+        uve.SsSta(u(0), Direction.LOAD, be, lanes, 1, etype=F32),
+        uve.SsApp(u(0), 0, k, m),
+        uve.SsApp(u(0), 0, tiles, lanes),
+        uve.SsApp(u(0), 0, n, 0, last=True),
+        # A: element stream — row i scanned per tile, repeated per tile.
+        uve.SsSta(u(3), Direction.LOAD, ae, k, 1, etype=F32),
+        uve.SsApp(u(3), 0, tiles, 0),
+        uve.SsApp(u(3), 0, n, k, last=True),
+        # C out: tile-major scan of the output.
+        uve.SsSta(u(2), Direction.STORE, ce, lanes, 1, etype=F32),
+        uve.SsApp(u(2), 0, tiles, lanes),
+        uve.SsApp(u(2), 0, n, m, last=True),
+    )
+    if beta_one:
+        b.emit(
+            uve.SsSta(u(1), Direction.LOAD, ce, lanes, 1, etype=F32),
+            uve.SsApp(u(1), 0, tiles, lanes),
+            uve.SsApp(u(1), 0, n, m, last=True),
+        )
+    b.label(f"{tag}_tile")
+    if beta_one:
+        b.emit(uve.SoMove(u(5), u(1), etype=F32))
+    else:
+        b.emit(uve.SoDup(u(5), 0.0, etype=F32))
+    # Unrolling uses one accumulator per unrolled step, breaking the
+    # multiply-accumulate dependence chain (classic sum splitting).
+    for step in range(1, unroll):
+        b.emit(uve.SoDup(u(5 + step), 0.0, etype=F32))
+    b.label(f"{tag}_k")
+    for step in range(unroll):
+        b.emit(
+            uve.SoScalarRead(f(1 + step), u(3), etype=F32),
+            uve.SoMacScalar(u(5 + step), u(0), f(1 + step), etype=F32),
+        )
+    b.emit(uve.SoBranchDim(u(0), 1, f"{tag}_k", complete=False))
+    for step in range(1, unroll):
+        b.emit(uve.SoOp("add", u(5), u(5), u(5 + step), etype=F32))
+    b.emit(
+        uve.SoMove(u(2), u(5), etype=F32),
+        uve.SoBranchEnd(u(0), f"{tag}_tile", negate=True),
+    )
+
+
+def emit_sve_gemm(b, tag, a_addr, b_addr, c_addr, n, k, m, beta_one):
+    """Emit one SVE-like gemm into builder ``b`` (registers x8-x20, u1-u3)."""
+    xa, xb, xc = x(8), x(9), x(10)
+    xm, xk, xn = x(11), x(12), x(13)
+    xi, xj0 = x(14), x(15)
+    xarow, xcrow, xak, xbk, xkc = x(16), x(17), x(18), x(19), x(20)
+    b.emit(
+        sc.Li(xa, a_addr), sc.Li(xb, b_addr), sc.Li(xc, c_addr),
+        sc.Li(xm, m), sc.Li(xk, k), sc.Li(xn, n),
+        sc.Li(xi, 0), sc.Move(xarow, xa), sc.Move(xcrow, xc),
+    )
+    b.label(f"{tag}_i")
+    b.emit(sc.Li(xj0, 0), sve.WhileLt(p(1), xj0, xm, etype=F32))
+    b.label(f"{tag}_jt")
+    if beta_one:
+        b.emit(sve.Ld1(u(1), p(1), xcrow, index=xj0, etype=F32))
+    else:
+        b.emit(sve.Dup(u(1), 0.0, etype=F32))
+    b.emit(sc.Move(xak, xarow), sc.Move(xbk, xb), sc.Li(xkc, 0))
+    b.label(f"{tag}_k")
+    b.emit(
+        sve.Ld1R(u(2), p(1), xak, etype=F32),
+        sc.IntOp("add", xak, xak, 4),
+        sve.Ld1(u(3), p(1), xbk, index=xj0, etype=F32),
+        sc.IntOp("add", xbk, xbk, 4 * m),
+        sve.Fmla(u(1), p(1), u(2), u(3), etype=F32),
+        sc.IntOp("add", xkc, xkc, 1),
+        sc.BranchCmp("lt", xkc, xk, f"{tag}_k"),
+    )
+    b.emit(
+        sve.St1(u(1), p(1), xcrow, index=xj0, etype=F32),
+        sve.IncElems(xj0, etype=F32),
+        sve.WhileLt(p(1), xj0, xm, etype=F32),
+        sve.BranchPred("first", p(1), f"{tag}_jt", etype=F32),
+    )
+    b.emit(
+        sc.IntOp("add", xarow, xarow, 4 * k),
+        sc.IntOp("add", xcrow, xcrow, 4 * m),
+        sc.IntOp("add", xi, xi, 1),
+        sc.BranchCmp("lt", xi, xn, f"{tag}_i"),
+    )
+
+
+def emit_neon_gemm(b, tag, a_addr, b_addr, c_addr, n, k, m, beta_one):
+    """Emit one NEON-like gemm (fixed 128-bit tiles; ``m % 4 == 0``)."""
+    xa, xb, xc = x(8), x(9), x(10)
+    xm, xk, xn = x(11), x(12), x(13)
+    xi, xj0 = x(14), x(15)
+    xarow, xcrow, xak, xbk, xkc = x(16), x(17), x(18), x(19), x(20)
+    xaddr = x(21)
+    b.emit(
+        sc.Li(xa, a_addr), sc.Li(xb, b_addr), sc.Li(xc, c_addr),
+        sc.Li(xm, m), sc.Li(xk, k), sc.Li(xn, n),
+        sc.Li(xi, 0), sc.Move(xarow, xa), sc.Move(xcrow, xc),
+    )
+    b.label(f"{tag}_i")
+    b.emit(sc.Li(xj0, 0))
+    b.label(f"{tag}_jt")
+    if beta_one:
+        b.emit(
+            sc.IntOp("sll", x(22), xj0, 2),
+            sc.IntOp("add", xaddr, xcrow, x(22)),
+            neon.NVLoad(u(1), xaddr, etype=F32),
+        )
+    else:
+        b.emit(neon.NVDup(u(1), 0.0, etype=F32))
+    b.emit(sc.Move(xak, xarow), sc.Move(xbk, xb), sc.Li(xkc, 0))
+    b.label(f"{tag}_k")
+    b.emit(
+        sc.Load(f(1), xak, 0, etype=F32),
+        neon.NVDup(u(2), f(1), etype=F32),
+        sc.IntOp("add", xak, xak, 4),
+        sc.IntOp("sll", x(22), xj0, 2),
+        sc.IntOp("add", xaddr, xbk, x(22)),
+        neon.NVLoad(u(3), xaddr, etype=F32),
+        sc.IntOp("add", xbk, xbk, 4 * m),
+        neon.NVFma(u(1), u(2), u(3), etype=F32),
+        sc.IntOp("add", xkc, xkc, 1),
+        sc.BranchCmp("lt", xkc, xk, f"{tag}_k"),
+    )
+    b.emit(
+        sc.IntOp("sll", x(22), xj0, 2),
+        sc.IntOp("add", xaddr, xcrow, x(22)),
+        neon.NVStore(u(1), xaddr, etype=F32),
+        sc.IntOp("add", xj0, xj0, 4),
+        sc.BranchCmp("lt", xj0, xm, f"{tag}_jt"),
+    )
+    b.emit(
+        sc.IntOp("add", xarow, xarow, 4 * k),
+        sc.IntOp("add", xcrow, xcrow, 4 * m),
+        sc.IntOp("add", xi, xi, 1),
+        sc.BranchCmp("lt", xi, xn, f"{tag}_i"),
+    )
+
+
+class GemmKernel(Kernel):
+    name = "gemm"
+    letter = "D"
+    domain = "BLAS"
+    n_streams = 4
+    max_nesting = 3
+    n_kernels = 1
+    pattern = "4D"
+
+    default_n = 40  # N = K = 40, M padded to 48
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=2)
+        k = n
+        m = scaled(self.default_n, scale, minimum=16, multiple=16)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, k)).astype(np.float32)
+        bm = rng.standard_normal((k, m)).astype(np.float32)
+        c = rng.standard_normal((n, m)).astype(np.float32)
+        wl = Workload(
+            memory=self.fresh_memory(), params={"n": n, "k": k, "m": m}
+        )
+        wl.place("a", a)
+        wl.place("b", bm)
+        wl.place("c", c)
+        wl.expected["c"] = (c.astype(np.float64)
+                            + a.astype(np.float64) @ bm.astype(np.float64)
+                            ).astype(np.float32)
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        return self.build_uve_unrolled(wl, lanes, unroll=1)
+
+    def build_uve_unrolled(self, wl: Workload, lanes: int, unroll: int) -> Program:
+        """UVE gemm with an inner loop unrolled ``unroll`` times
+        (Fig. 8.E)."""
+        b = ProgramBuilder(f"gemm-uve-u{unroll}")
+        pr = wl.params
+        emit_uve_gemm(
+            b, "g", wl.addr("a"), wl.addr("b"), wl.addr("c"),
+            pr["n"], pr["k"], pr["m"], lanes, beta_one=True, unroll=unroll,
+        )
+        b.emit(sc.Halt())
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        b = ProgramBuilder(f"gemm-{isa}")
+        pr = wl.params
+        emit = emit_sve_gemm if isa == "sve" else emit_neon_gemm
+        emit(
+            b, "g", wl.addr("a"), wl.addr("b"), wl.addr("c"),
+            pr["n"], pr["k"], pr["m"], beta_one=True,
+        )
+        b.emit(sc.Halt())
+        return b.build()

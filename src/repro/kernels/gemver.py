@@ -1,0 +1,259 @@
+"""Benchmark G: gemver (PolyBench) — rank-2 update plus two
+matrix-vector products and a vector add; the paper's highest stream
+count (17 streams across four sub-kernels).
+
+    A = A + u1·v1ᵀ + u2·v2ᵀ
+    x = x + beta · Aᵀ·y
+    x = x + z
+    w = w + alpha · A·x
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, p, u, x
+from repro.isa import neon_ops as neon
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.kernels.mvt import (
+    emit_neon_col_accum,
+    emit_neon_row_dots,
+    emit_sve_col_accum,
+    emit_sve_row_dots,
+    emit_uve_col_accum,
+    emit_uve_dots,
+)
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+ALPHA = 1.5
+BETA = 1.2
+
+
+def _emit_uve_rank2(b, tag, a_addr, u1, v1, u2, v2, n):
+    """A[i][j] += u1[i]*v1[j] + u2[i]*v2[j] — six streams, Fig. 1.D style."""
+    ae = a_addr // 4
+    b.emit(
+        uve.SsSta(u(0), Direction.LOAD, ae, n, 1, etype=F32),
+        uve.SsApp(u(0), 0, n, n, last=True),
+        uve.SsSta(u(1), Direction.LOAD, v1 // 4, n, 1, etype=F32),
+        uve.SsApp(u(1), 0, n, 0, last=True),
+        uve.SsSta(u(2), Direction.LOAD, v2 // 4, n, 1, etype=F32),
+        uve.SsApp(u(2), 0, n, 0, last=True),
+        uve.SsSta(u(3), Direction.STORE, ae, n, 1, etype=F32),
+        uve.SsApp(u(3), 0, n, n, last=True),
+        uve.SsConfig1D(u(6), Direction.LOAD, u1 // 4, n, 1, etype=F32),
+        uve.SsConfig1D(u(7), Direction.LOAD, u2 // 4, n, 1, etype=F32),
+    )
+    b.label(f"{tag}_row")
+    b.emit(
+        uve.SoScalarRead(f(1), u(6), etype=F32),
+        uve.SoScalarRead(f(2), u(7), etype=F32),
+    )
+    b.label(f"{tag}_chunk")
+    b.emit(
+        uve.SoOpScalar("mul", u(5), u(1), f(1), etype=F32),
+        uve.SoMacScalar(u(5), u(2), f(2), etype=F32),
+        uve.SoOp("add", u(3), u(5), u(0), etype=F32),
+        uve.SoBranchDim(u(0), 0, f"{tag}_chunk", complete=False),
+        uve.SoBranchEnd(u(0), f"{tag}_row", negate=True),
+    )
+
+
+def _emit_uve_vadd(b, tag, out, in1, in2, n):
+    """out[i] = in1[i] + in2[i]."""
+    b.emit(
+        uve.SsConfig1D(u(0), Direction.LOAD, in1 // 4, n, 1, etype=F32),
+        uve.SsConfig1D(u(1), Direction.LOAD, in2 // 4, n, 1, etype=F32),
+        uve.SsConfig1D(u(2), Direction.STORE, out // 4, n, 1, etype=F32),
+    )
+    b.label(f"{tag}_loop")
+    b.emit(
+        uve.SoOp("add", u(2), u(0), u(1), etype=F32),
+        uve.SoBranchEnd(u(0), f"{tag}_loop", negate=True),
+    )
+
+
+def _emit_sve_rank2(b, tag, a_addr, u1, v1, u2, v2, n):
+    xarow, xv1, xv2, xu1, xu2 = x(8), x(9), x(10), x(11), x(12)
+    xn, xi, xoff = x(13), x(14), x(15)
+    b.emit(
+        sc.Li(xarow, a_addr), sc.Li(xu1, u1), sc.Li(xu2, u2),
+        sc.Li(xn, n), sc.Li(xi, 0),
+    )
+    b.label(f"{tag}_i")
+    b.emit(
+        sc.Load(f(1), xu1, 0, etype=F32),
+        sc.Load(f(2), xu2, 0, etype=F32),
+        sve.Dup(u(4), f(1), etype=F32),
+        sve.Dup(u(5), f(2), etype=F32),
+        sc.Li(xoff, 0),
+        sc.Li(xv1, v1), sc.Li(xv2, v2),
+        sve.WhileLt(p(1), xoff, xn, etype=F32),
+    )
+    b.label(f"{tag}_j")
+    b.emit(
+        sve.Ld1(u(1), p(1), xarow, index=xoff, etype=F32),
+        sve.Ld1(u(2), p(1), xv1, index=xoff, etype=F32),
+        sve.Ld1(u(3), p(1), xv2, index=xoff, etype=F32),
+        sve.Fmla(u(1), p(1), u(4), u(2), etype=F32),
+        sve.Fmla(u(1), p(1), u(5), u(3), etype=F32),
+        sve.St1(u(1), p(1), xarow, index=xoff, etype=F32),
+        sve.IncElems(xoff, etype=F32),
+        sve.WhileLt(p(1), xoff, xn, etype=F32),
+        sve.BranchPred("first", p(1), f"{tag}_j", etype=F32),
+    )
+    b.emit(
+        sc.IntOp("add", xarow, xarow, 4 * n),
+        sc.IntOp("add", xu1, xu1, 4),
+        sc.IntOp("add", xu2, xu2, 4),
+        sc.IntOp("add", xi, xi, 1),
+        sc.BranchCmp("lt", xi, xn, f"{tag}_i"),
+    )
+
+
+def _emit_sve_vadd(b, tag, out, in1, in2, n):
+    xo, x1r, x2r, xn, xoff = x(8), x(9), x(10), x(11), x(12)
+    b.emit(
+        sc.Li(xo, out), sc.Li(x1r, in1), sc.Li(x2r, in2),
+        sc.Li(xn, n), sc.Li(xoff, 0),
+        sve.WhileLt(p(1), xoff, xn, etype=F32),
+    )
+    b.label(f"{tag}_loop")
+    b.emit(
+        sve.Ld1(u(1), p(1), x1r, index=xoff, etype=F32),
+        sve.Ld1(u(2), p(1), x2r, index=xoff, etype=F32),
+        sve.VOp("add", u(1), p(1), u(1), u(2), etype=F32),
+        sve.St1(u(1), p(1), xo, index=xoff, etype=F32),
+        sve.IncElems(xoff, etype=F32),
+        sve.WhileLt(p(1), xoff, xn, etype=F32),
+        sve.BranchPred("first", p(1), f"{tag}_loop", etype=F32),
+    )
+
+
+def _emit_neon_rank2(b, tag, a_addr, u1, v1, u2, v2, n):
+    xarow, xv1, xv2, xu1, xu2 = x(8), x(9), x(10), x(11), x(12)
+    xi, xoff, xaddr = x(14), x(15), x(16)
+    b.emit(sc.Li(xarow, a_addr), sc.Li(xu1, u1), sc.Li(xu2, u2), sc.Li(xi, 0))
+    b.label(f"{tag}_i")
+    b.emit(
+        sc.Load(f(1), xu1, 0, etype=F32),
+        sc.Load(f(2), xu2, 0, etype=F32),
+        neon.NVDup(u(4), f(1), etype=F32),
+        neon.NVDup(u(5), f(2), etype=F32),
+        sc.Li(xoff, 0),
+        sc.Li(xv1, v1), sc.Li(xv2, v2),
+        sc.Move(xaddr, xarow),
+    )
+    b.label(f"{tag}_j")
+    b.emit(
+        neon.NVLoad(u(1), xaddr, etype=F32),
+        neon.NVLoad(u(2), xv1, etype=F32, post_inc=True),
+        neon.NVLoad(u(3), xv2, etype=F32, post_inc=True),
+        neon.NVFma(u(1), u(4), u(2), etype=F32),
+        neon.NVFma(u(1), u(5), u(3), etype=F32),
+        neon.NVStore(u(1), xaddr, etype=F32, post_inc=True),
+        sc.IntOp("add", xoff, xoff, 4),
+        sc.BranchCmp("lt", xoff, n, f"{tag}_j"),
+    )
+    b.emit(
+        sc.IntOp("add", xarow, xarow, 4 * n),
+        sc.IntOp("add", xu1, xu1, 4),
+        sc.IntOp("add", xu2, xu2, 4),
+        sc.IntOp("add", xi, xi, 1),
+        sc.BranchCmp("lt", xi, n, f"{tag}_i"),
+    )
+
+
+def _emit_neon_vadd(b, tag, out, in1, in2, n):
+    xo, x1r, x2r, xoff = x(8), x(9), x(10), x(12)
+    b.emit(sc.Li(xo, out), sc.Li(x1r, in1), sc.Li(x2r, in2), sc.Li(xoff, 0))
+    b.label(f"{tag}_loop")
+    b.emit(
+        neon.NVLoad(u(1), x1r, etype=F32, post_inc=True),
+        neon.NVLoad(u(2), x2r, etype=F32, post_inc=True),
+        neon.NVOp("add", u(1), u(1), u(2), etype=F32),
+        neon.NVStore(u(1), xo, etype=F32, post_inc=True),
+        sc.IntOp("add", xoff, xoff, 4),
+        sc.BranchCmp("lt", xoff, n, f"{tag}_loop"),
+    )
+
+
+class GemverKernel(Kernel):
+    name = "gemver"
+    letter = "G"
+    domain = "algebra"
+    n_streams = 17
+    max_nesting = 2
+    n_kernels = 4
+    pattern = "2D"
+
+    default_n = 64
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=16, multiple=16)
+        rng = np.random.default_rng(seed)
+        arrays = {
+            "a": rng.standard_normal((n, n)).astype(np.float32),
+            "u1": rng.standard_normal(n).astype(np.float32),
+            "v1": rng.standard_normal(n).astype(np.float32),
+            "u2": rng.standard_normal(n).astype(np.float32),
+            "v2": rng.standard_normal(n).astype(np.float32),
+            "x": rng.standard_normal(n).astype(np.float32),
+            "y": rng.standard_normal(n).astype(np.float32),
+            "z": rng.standard_normal(n).astype(np.float32),
+            "w": rng.standard_normal(n).astype(np.float32),
+        }
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        for name, arr in arrays.items():
+            wl.place(name, arr)
+        g = {k: v.astype(np.float64) for k, v in arrays.items()}
+        a2 = g["a"] + np.outer(g["u1"], g["v1"]) + np.outer(g["u2"], g["v2"])
+        xv = g["x"] + BETA * (a2.T @ g["y"])
+        xv = xv + g["z"]
+        wv = g["w"] + ALPHA * (a2 @ xv)
+        wl.expected["a"] = a2.astype(np.float32)
+        wl.expected["x"] = xv.astype(np.float32)
+        wl.expected["w"] = wv.astype(np.float32)
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder("gemver-uve")
+        _emit_uve_rank2(b, "r2", wl.addr("a"), wl.addr("u1"), wl.addr("v1"),
+                        wl.addr("u2"), wl.addr("v2"), n)
+        emit_uve_col_accum(b, "aty", wl.addr("a"), wl.addr("y"),
+                           wl.addr("x"), rows=n, cols=n, lanes=lanes,
+                           alpha=BETA)
+        _emit_uve_vadd(b, "xz", wl.addr("x"), wl.addr("x"), wl.addr("z"), n)
+        emit_uve_dots(b, "ax", wl.addr("a"), wl.addr("x"), wl.addr("w"),
+                      rows=n, cols=n, row_stride=n, col_stride=1, alpha=ALPHA)
+        b.emit(sc.Halt())
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder(f"gemver-{isa}")
+        addr = wl.addr
+        if isa == "sve":
+            _emit_sve_rank2(b, "r2", addr("a"), addr("u1"), addr("v1"),
+                            addr("u2"), addr("v2"), n)
+            emit_sve_col_accum(b, "aty", addr("a"), addr("y"), addr("x"),
+                               n, n, alpha=BETA)
+            _emit_sve_vadd(b, "xz", addr("x"), addr("x"), addr("z"), n)
+            emit_sve_row_dots(b, "ax", addr("a"), addr("x"), addr("w"),
+                              n, n, alpha=ALPHA)
+        else:
+            _emit_neon_rank2(b, "r2", addr("a"), addr("u1"), addr("v1"),
+                             addr("u2"), addr("v2"), n)
+            emit_neon_col_accum(b, "aty", addr("a"), addr("y"), addr("x"),
+                                n, n, alpha=BETA)
+            _emit_neon_vadd(b, "xz", addr("x"), addr("x"), addr("z"), n)
+            emit_neon_row_dots(b, "ax", addr("a"), addr("x"), addr("w"),
+                               n, n, alpha=ALPHA)
+        b.emit(sc.Halt())
+        return b.build()

@@ -1,0 +1,279 @@
+"""Benchmark L: HACCmk — the CORAL n-body short-force kernel.
+
+For each outer particle *i*, accumulate the smoothed gravitational force
+from all inner particles *j*:
+
+    d = p[j] - p[i];   r2 = |d|^2
+    f = m[j] / ((r2 + eps) * sqrt(r2 + eps))
+    F[i] += d * f
+
+The UVE build streams the inner particle arrays once per outer particle
+through zero-stride outer dimensions, reads the outer particle through
+the scalar-stream interface, and keeps the FP-heavy inner loop free of
+loads and index arithmetic.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, p, u, x
+from repro.isa import neon_ops as neon
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+EPS = 0.1
+
+
+def haccmk_reference(xs, ys, zs, ms, count):
+    fx = np.zeros(count)
+    fy = np.zeros(count)
+    fz = np.zeros(count)
+    for i in range(count):
+        dx = xs - xs[i]
+        dy = ys - ys[i]
+        dz = zs - zs[i]
+        r2 = dx * dx + dy * dy + dz * dz + EPS
+        fcoef = ms / (r2 * np.sqrt(r2))
+        fx[i] = np.sum(dx * fcoef)
+        fy[i] = np.sum(dy * fcoef)
+        fz[i] = np.sum(dz * fcoef)
+    return fx, fy, fz
+
+
+class HaccmkKernel(Kernel):
+    name = "haccmk"
+    letter = "L"
+    domain = "n-body"
+    n_streams = 10
+    max_nesting = 2
+    n_kernels = 1
+    pattern = "2D"
+
+    default_n = 384
+    default_count = 24
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=32, multiple=16)
+        count = scaled(self.default_count, scale, minimum=4)
+        rng = np.random.default_rng(seed)
+        xs = rng.standard_normal(n).astype(np.float32)
+        ys = rng.standard_normal(n).astype(np.float32)
+        zs = rng.standard_normal(n).astype(np.float32)
+        ms = rng.uniform(0.5, 1.5, n).astype(np.float32)
+        wl = Workload(
+            memory=self.fresh_memory(), params={"n": n, "count": count}
+        )
+        for name, arr in (("x", xs), ("y", ys), ("z", zs), ("m", ms)):
+            wl.place(name, arr)
+        for name in ("fx", "fy", "fz"):
+            wl.place(name, np.zeros(count, dtype=np.float32))
+        ex, ey, ez = haccmk_reference(
+            xs.astype(np.float64), ys.astype(np.float64),
+            zs.astype(np.float64), ms.astype(np.float64), count,
+        )
+        wl.expected["fx"] = ex.astype(np.float32)
+        wl.expected["fy"] = ey.astype(np.float32)
+        wl.expected["fz"] = ez.astype(np.float32)
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n, count = wl.params["n"], wl.params["count"]
+        b = ProgramBuilder("haccmk-uve")
+        # u0-u3: inner arrays, re-swept per outer particle (stride-0 dim).
+        for reg, name in zip((u(0), u(1), u(2), u(3)), ("x", "y", "z", "m")):
+            b.emit(
+                uve.SsSta(reg, Direction.LOAD, wl.addr(name) // 4, n, 1, etype=F32),
+                uve.SsApp(reg, 0, count, 0, last=True),
+            )
+        # u4-u6: outer particle coordinates, one element per outer step.
+        for reg, name in zip((u(4), u(5), u(6)), ("x", "y", "z")):
+            b.emit(
+                uve.SsConfig1D(reg, Direction.LOAD, wl.addr(name) // 4, count, 1, etype=F32)
+            )
+        # u7-u9: force outputs, one element per outer step.
+        for reg, name in zip((u(7), u(8), u(9)), ("fx", "fy", "fz")):
+            b.emit(
+                uve.SsConfig1D(reg, Direction.STORE, wl.addr(name) // 4, count, 1, etype=F32)
+            )
+        b.emit(sc.FLi(f(9), EPS))
+        b.label("outer")
+        b.emit(
+            uve.SoScalarRead(f(1), u(4), etype=F32),
+            uve.SoScalarRead(f(2), u(5), etype=F32),
+            uve.SoScalarRead(f(3), u(6), etype=F32),
+            uve.SoDup(u(10), 0.0, etype=F32),  # fx acc
+            uve.SoDup(u(11), 0.0, etype=F32),  # fy acc
+            uve.SoDup(u(12), 0.0, etype=F32),  # fz acc
+        )
+        b.label("inner")
+        b.emit(
+            uve.SoOpScalar("sub", u(13), u(0), f(1), etype=F32),  # dx
+            uve.SoOpScalar("sub", u(14), u(1), f(2), etype=F32),  # dy
+            uve.SoOpScalar("sub", u(15), u(2), f(3), etype=F32),  # dz
+            uve.SoOp("mul", u(16), u(13), u(13), etype=F32),
+            uve.SoMac(u(16), u(14), u(14), etype=F32),
+            uve.SoMac(u(16), u(15), u(15), etype=F32),
+            uve.SoOpScalar("add", u(16), u(16), f(9), etype=F32),  # r2+eps
+            uve.SoUnary("sqrt", u(17), u(16), etype=F32),
+            uve.SoOp("mul", u(16), u(16), u(17), etype=F32),
+            uve.SoOp("div", u(17), u(3), u(16), etype=F32),  # m / (...)
+            uve.SoMac(u(10), u(13), u(17), etype=F32),
+            uve.SoMac(u(11), u(14), u(17), etype=F32),
+            uve.SoMac(u(12), u(15), u(17), etype=F32),
+            uve.SoBranchDim(u(0), 0, "inner", complete=False),
+            uve.SoRed("add", u(7), u(10), etype=F32),
+            uve.SoRed("add", u(8), u(11), etype=F32),
+            uve.SoRed("add", u(9), u(12), etype=F32),
+            uve.SoBranchEnd(u(0), "outer", negate=True),
+        )
+        b.emit(sc.Halt())
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        n, count = wl.params["n"], wl.params["count"]
+        b = ProgramBuilder(f"haccmk-{isa}")
+        if isa == "sve":
+            return self._build_sve(b, wl, n, count)
+        return self._build_neon(b, wl, n, count)
+
+    def _build_sve(self, b, wl, n, count):
+        xx, xy, xz, xm = x(8), x(9), x(10), x(11)
+        xfx, xfy, xfz = x(12), x(13), x(14)
+        xi, xoff, xn = x(15), x(16), x(17)
+        b.emit(
+            sc.Li(xx, wl.addr("x")), sc.Li(xy, wl.addr("y")),
+            sc.Li(xz, wl.addr("z")), sc.Li(xm, wl.addr("m")),
+            sc.Li(xfx, wl.addr("fx")), sc.Li(xfy, wl.addr("fy")),
+            sc.Li(xfz, wl.addr("fz")),
+            sc.Li(xi, 0), sc.Li(xn, n), sc.FLi(f(9), EPS),
+            sve.Dup(u(9), EPS, etype=F32),
+        )
+        b.label("outer")
+        b.emit(
+            sc.IntOp("sll", x(18), xi, 2),
+            sc.IntOp("add", x(19), xx, x(18)),
+            sc.Load(f(1), x(19), 0, etype=F32),
+            sc.IntOp("add", x(19), xy, x(18)),
+            sc.Load(f(2), x(19), 0, etype=F32),
+            sc.IntOp("add", x(19), xz, x(18)),
+            sc.Load(f(3), x(19), 0, etype=F32),
+            sve.Dup(u(4), f(1), etype=F32),
+            sve.Dup(u(5), f(2), etype=F32),
+            sve.Dup(u(6), f(3), etype=F32),
+            sve.Dup(u(10), 0.0, etype=F32),
+            sve.Dup(u(11), 0.0, etype=F32),
+            sve.Dup(u(12), 0.0, etype=F32),
+            sc.Li(xoff, 0),
+            sve.WhileLt(p(1), xoff, xn, etype=F32),
+        )
+        b.label("inner")
+        b.emit(
+            sve.Ld1(u(0), p(1), xx, index=xoff, etype=F32),
+            sve.Ld1(u(1), p(1), xy, index=xoff, etype=F32),
+            sve.Ld1(u(2), p(1), xz, index=xoff, etype=F32),
+            sve.Ld1(u(3), p(1), xm, index=xoff, etype=F32),
+            sve.VOp("sub", u(0), p(1), u(0), u(4), etype=F32),
+            sve.VOp("sub", u(1), p(1), u(1), u(5), etype=F32),
+            sve.VOp("sub", u(2), p(1), u(2), u(6), etype=F32),
+            sve.VOp("mul", u(7), p(1), u(0), u(0), etype=F32),
+            sve.Fmla(u(7), p(1), u(1), u(1), etype=F32),
+            sve.Fmla(u(7), p(1), u(2), u(2), etype=F32),
+            sve.VOp("add", u(7), p(1), u(7), u(9), etype=F32),
+            sve.VUnary("sqrt", u(8), p(1), u(7), etype=F32),
+            sve.VOp("mul", u(7), p(1), u(7), u(8), etype=F32),
+            sve.VOp("div", u(8), p(1), u(3), u(7), etype=F32),
+            sve.Fmla(u(10), p(1), u(0), u(8), etype=F32),
+            sve.Fmla(u(11), p(1), u(1), u(8), etype=F32),
+            sve.Fmla(u(12), p(1), u(2), u(8), etype=F32),
+            sve.IncElems(xoff, etype=F32),
+            sve.WhileLt(p(1), xoff, xn, etype=F32),
+            sve.BranchPred("first", p(1), "inner", etype=F32),
+        )
+        b.emit(
+            sve.Red("add", f(4), p(0), u(10), etype=F32),
+            sve.Red("add", f(5), p(0), u(11), etype=F32),
+            sve.Red("add", f(6), p(0), u(12), etype=F32),
+            sc.Store(f(4), xfx, 0, etype=F32),
+            sc.Store(f(5), xfy, 0, etype=F32),
+            sc.Store(f(6), xfz, 0, etype=F32),
+            sc.IntOp("add", xfx, xfx, 4),
+            sc.IntOp("add", xfy, xfy, 4),
+            sc.IntOp("add", xfz, xfz, 4),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, count, "outer"),
+            sc.Halt(),
+        )
+        return b.build()
+
+    def _build_neon(self, b, wl, n, count):
+        xx, xy, xz, xm = x(8), x(9), x(10), x(11)
+        xfx, xfy, xfz = x(12), x(13), x(14)
+        xi, xoff = x(15), x(16)
+        b.emit(
+            sc.Li(xfx, wl.addr("fx")), sc.Li(xfy, wl.addr("fy")),
+            sc.Li(xfz, wl.addr("fz")),
+            sc.Li(xi, 0), sc.FLi(f(9), EPS),
+            neon.NVDup(u(9), EPS, etype=F32),
+        )
+        b.label("outer")
+        b.emit(
+            sc.Li(xx, wl.addr("x")), sc.Li(xy, wl.addr("y")),
+            sc.Li(xz, wl.addr("z")), sc.Li(xm, wl.addr("m")),
+            sc.IntOp("sll", x(18), xi, 2),
+            sc.IntOp("add", x(19), xx, x(18)),
+            sc.Load(f(1), x(19), 0, etype=F32),
+            sc.IntOp("add", x(19), xy, x(18)),
+            sc.Load(f(2), x(19), 0, etype=F32),
+            sc.IntOp("add", x(19), xz, x(18)),
+            sc.Load(f(3), x(19), 0, etype=F32),
+            neon.NVDup(u(4), f(1), etype=F32),
+            neon.NVDup(u(5), f(2), etype=F32),
+            neon.NVDup(u(6), f(3), etype=F32),
+            neon.NVDup(u(10), 0.0, etype=F32),
+            neon.NVDup(u(11), 0.0, etype=F32),
+            neon.NVDup(u(12), 0.0, etype=F32),
+            sc.Li(xoff, 0),
+        )
+        b.label("inner")
+        b.emit(
+            neon.NVLoad(u(0), xx, etype=F32, post_inc=True),
+            neon.NVLoad(u(1), xy, etype=F32, post_inc=True),
+            neon.NVLoad(u(2), xz, etype=F32, post_inc=True),
+            neon.NVLoad(u(3), xm, etype=F32, post_inc=True),
+            neon.NVOp("sub", u(0), u(0), u(4), etype=F32),
+            neon.NVOp("sub", u(1), u(1), u(5), etype=F32),
+            neon.NVOp("sub", u(2), u(2), u(6), etype=F32),
+            neon.NVOp("mul", u(7), u(0), u(0), etype=F32),
+            neon.NVFma(u(7), u(1), u(1), etype=F32),
+            neon.NVFma(u(7), u(2), u(2), etype=F32),
+            neon.NVOp("add", u(7), u(7), u(9), etype=F32),
+            neon.NVUnary("sqrt", u(8), u(7), etype=F32),
+            neon.NVOp("mul", u(7), u(7), u(8), etype=F32),
+            neon.NVOp("div", u(8), u(3), u(7), etype=F32),
+            neon.NVFma(u(10), u(0), u(8), etype=F32),
+            neon.NVFma(u(11), u(1), u(8), etype=F32),
+            neon.NVFma(u(12), u(2), u(8), etype=F32),
+            sc.IntOp("add", xoff, xoff, 4),
+            sc.BranchCmp("lt", xoff, n, "inner"),
+        )
+        b.emit(
+            neon.NVRed("add", f(4), u(10), etype=F32),
+            neon.NVRed("add", f(5), u(11), etype=F32),
+            neon.NVRed("add", f(6), u(12), etype=F32),
+            sc.Store(f(4), xfx, 0, etype=F32),
+            sc.Store(f(5), xfy, 0, etype=F32),
+            sc.Store(f(6), xfz, 0, etype=F32),
+            sc.IntOp("add", xfx, xfx, 4),
+            sc.IntOp("add", xfy, xfy, 4),
+            sc.IntOp("add", xfz, xfz, 4),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, count, "outer"),
+            sc.Halt(),
+        )
+        return b.build()

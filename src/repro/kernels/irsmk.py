@@ -1,0 +1,206 @@
+"""Benchmark K: IRSmk — the ASC Sequoia implicit radiation solver
+matrix kernel: a 9-point variable-coefficient stencil,
+``b[i][j] = sum_k coef_k[i][j] * x[i+di_k][j+dj_k]``.
+
+The heaviest stream-count benchmark: nine coefficient streams, nine
+shifted solution streams, and the output — 19 concurrent streams.
+(The original is a 27-point 3-D kernel; the 2-D 9-point form preserves
+the many-concurrent-streams behaviour at laptop-simulation scale.)
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, p, u, x
+from repro.isa import neon_ops as neon
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+
+#: stencil offsets (di, dj) and coefficient-array names.
+OFFSETS = [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 0), (0, 1), (1, -1), (1, 0), (1, 1)]
+COEF_NAMES = ["c" + "".join(("m" if d < 0 else "p" if d > 0 else "z") for d in off)
+              for off in OFFSETS]
+
+
+def irsmk_reference(coefs, xmat):
+    n = xmat.shape[0]
+    out = np.zeros_like(xmat)
+    for (di, dj), coef in zip(OFFSETS, coefs):
+        out[1:-1, 1:-1] += (
+            coef[1:-1, 1:-1] * xmat[1 + di : n - 1 + di, 1 + dj : n - 1 + dj]
+        )
+    return out
+
+
+class IrsmkKernel(Kernel):
+    name = "irsmk"
+    letter = "K"
+    domain = "stencil"
+    n_streams = 19
+    max_nesting = 2
+    n_kernels = 1
+    pattern = "2D"
+
+    default_n = 64
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=8)
+        rng = np.random.default_rng(seed)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        coefs = []
+        for name in COEF_NAMES:
+            coef = rng.standard_normal((n, n)).astype(np.float32)
+            wl.place(name, coef)
+            coefs.append(coef)
+        xmat = rng.standard_normal((n, n)).astype(np.float32)
+        wl.place("x", xmat)
+        wl.place("b", np.zeros((n, n), dtype=np.float32))
+        ref = irsmk_reference(
+            [c.astype(np.float64) for c in coefs], xmat.astype(np.float64)
+        )
+        wl.expected["b"] = ref.astype(np.float32)
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+        rows = cols = n - 2
+        b = ProgramBuilder("irsmk-uve")
+        xe = wl.addr("x") // 4
+        centre = xe + n + 1
+
+        def stream2d(reg, direction, base_elem):
+            b.emit(
+                uve.SsSta(reg, direction, base_elem, cols, 1, etype=F32),
+                uve.SsApp(reg, 0, rows, n, last=True),
+            )
+
+        # u0..u8: coefficients; u9..u17: shifted x; u18: output b.
+        for idx, name in enumerate(COEF_NAMES):
+            stream2d(u(idx), Direction.LOAD, wl.addr(name) // 4 + n + 1)
+        for idx, (di, dj) in enumerate(OFFSETS):
+            stream2d(u(9 + idx), Direction.LOAD, centre + di * n + dj)
+        stream2d(u(18), Direction.STORE, wl.addr("b") // 4 + n + 1)
+        b.label("loop")
+        b.emit(uve.SoOp("mul", u(19), u(0), u(9), etype=F32))
+        for idx in range(1, 9):
+            b.emit(uve.SoMac(u(19), u(idx), u(9 + idx), etype=F32))
+        b.emit(
+            uve.SoMove(u(18), u(19), etype=F32),
+            uve.SoBranchEnd(u(0), "loop", negate=True),
+        )
+        b.emit(sc.Halt())
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        if isa == "sve":
+            return self._build_sve(wl)
+        return self._build_neon(wl)
+
+    def _addrs(self, wl):
+        n = wl.params["n"]
+        coef_bases = [wl.addr(name) + 4 * (n + 1) for name in COEF_NAMES]
+        x_bases = [
+            wl.addr("x") + 4 * ((1 + di) * n + 1 + dj) for (di, dj) in OFFSETS
+        ]
+        out_base = wl.addr("b") + 4 * (n + 1)
+        return coef_bases, x_bases, out_base
+
+    def _build_sve(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        coef_bases, x_bases, out_base = self._addrs(wl)
+        b = ProgramBuilder("irsmk-sve")
+        xi, xoff, xw, xt, xrow = x(8), x(9), x(10), x(11), x(12)
+        b.emit(sc.Li(xw, n - 2), sc.Li(xi, 0), sc.Li(xrow, 0))
+        b.label("row")
+        b.emit(sc.Li(xoff, 0), sve.WhileLt(p(1), xoff, xw, etype=F32))
+        b.label("col")
+        b.emit(sve.Dup(u(1), 0.0, etype=F32))
+        for coef, xb in zip(coef_bases, x_bases):
+            b.emit(
+                sc.IntOp("add", xt, xrow, coef),
+                sve.Ld1(u(2), p(1), xt, index=xoff, etype=F32),
+                sc.IntOp("add", xt, xrow, xb),
+                sve.Ld1(u(3), p(1), xt, index=xoff, etype=F32),
+                sve.Fmla(u(1), p(1), u(2), u(3), etype=F32),
+            )
+        b.emit(
+            sc.IntOp("add", xt, xrow, out_base),
+            sve.St1(u(1), p(1), xt, index=xoff, etype=F32),
+            sve.IncElems(xoff, etype=F32),
+            sve.WhileLt(p(1), xoff, xw, etype=F32),
+            sve.BranchPred("first", p(1), "col", etype=F32),
+        )
+        b.emit(
+            sc.IntOp("add", xrow, xrow, 4 * n),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, n - 2, "row"),
+            sc.Halt(),
+        )
+        return b.build()
+
+    def _build_neon(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        coef_bases, x_bases, out_base = self._addrs(wl)
+        width = n - 2
+        main = width - width % 4
+        b = ProgramBuilder("irsmk-neon")
+        xi, xoff, xt, xrow = x(8), x(9), x(11), x(12)
+        b.emit(sc.Li(xi, 0), sc.Li(xrow, 0))
+        b.label("row")
+        b.emit(sc.Li(xoff, 0))
+        b.emit(sc.BranchCmp("ge", xoff, main, "tail"))
+        b.label("col")
+        b.emit(neon.NVDup(u(1), 0.0, etype=F32), sc.IntOp("sll", x(13), xoff, 2))
+        for coef, xb in zip(coef_bases, x_bases):
+            b.emit(
+                sc.IntOp("add", xt, xrow, coef),
+                sc.IntOp("add", xt, xt, x(13)),
+                neon.NVLoad(u(2), xt, etype=F32),
+                sc.IntOp("add", xt, xrow, xb),
+                sc.IntOp("add", xt, xt, x(13)),
+                neon.NVLoad(u(3), xt, etype=F32),
+                neon.NVFma(u(1), u(2), u(3), etype=F32),
+            )
+        b.emit(
+            sc.IntOp("add", xt, xrow, out_base),
+            sc.IntOp("add", xt, xt, x(13)),
+            neon.NVStore(u(1), xt, etype=F32),
+            sc.IntOp("add", xoff, xoff, 4),
+            sc.BranchCmp("lt", xoff, main, "col"),
+        )
+        b.label("tail")
+        b.emit(sc.BranchCmp("ge", xoff, width, "next"))
+        b.label("tail_loop")
+        b.emit(sc.FLi(f(1), 0.0), sc.IntOp("sll", x(13), xoff, 2))
+        for coef, xb in zip(coef_bases, x_bases):
+            b.emit(
+                sc.IntOp("add", xt, xrow, coef),
+                sc.IntOp("add", xt, xt, x(13)),
+                sc.Load(f(2), xt, 0, etype=F32),
+                sc.IntOp("add", xt, xrow, xb),
+                sc.IntOp("add", xt, xt, x(13)),
+                sc.Load(f(3), xt, 0, etype=F32),
+                sc.FMac(f(1), f(2), f(3)),
+            )
+        b.emit(
+            sc.IntOp("add", xt, xrow, out_base),
+            sc.IntOp("add", xt, xt, x(13)),
+            sc.Store(f(1), xt, 0, etype=F32),
+            sc.IntOp("add", xoff, xoff, 1),
+            sc.BranchCmp("lt", xoff, width, "tail_loop"),
+        )
+        b.label("next")
+        b.emit(
+            sc.IntOp("add", xrow, xrow, 4 * n),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, n - 2, "row"),
+            sc.Halt(),
+        )
+        return b.build()

@@ -1,0 +1,271 @@
+"""Benchmark J: jacobi-2d — 5-point stencil sweeps (PolyBench):
+``B[i][j] = 0.2*(A[i][j] + A[i][j±1] + A[i±1][j])`` over the interior,
+then the same from B back into A.
+
+The five shifted 2-D input streams and the interior output stream all
+share the same (ragged) row geometry, so their chunks stay aligned with
+zero predication — the paper's F3/F5 point.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, p, u, x
+from repro.isa import neon_ops as neon
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+FIFTH = 0.2
+
+
+def jacobi2d_step(a):
+    b = a.copy()
+    b[1:-1, 1:-1] = 0.2 * (
+        a[1:-1, 1:-1] + a[1:-1, :-2] + a[1:-1, 2:] + a[:-2, 1:-1] + a[2:, 1:-1]
+    )
+    return b
+
+
+class Jacobi2dKernel(Kernel):
+    name = "jacobi-2d"
+    letter = "J"
+    domain = "stencil"
+    n_streams = 12
+    max_nesting = 2
+    n_kernels = 2
+    pattern = "2D"
+
+    default_n = 96
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=8)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("a", a)
+        wl.place("b", a.copy())
+        b64 = jacobi2d_step(a.astype(np.float64))
+        a64 = jacobi2d_step(b64)
+        wl.expected["b"] = b64.astype(np.float32)
+        wl.expected["a"] = a64.astype(np.float32)
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+        rows, cols = n - 2, n - 2
+        b = ProgramBuilder("jacobi2d-uve")
+        b.emit(sc.FLi(f(0), FIFTH), uve.SoDup(u(6), f(0), etype=F32))
+
+        def stream2d(reg, direction, base_elem):
+            b.emit(
+                uve.SsSta(reg, direction, base_elem, cols, 1, etype=F32),
+                uve.SsApp(reg, 0, rows, n, last=True),
+            )
+
+        def sweep(tag, src, dst):
+            se, de = src // 4, dst // 4
+            centre = se + n + 1
+            stream2d(u(0), Direction.LOAD, centre)  # A[i][j]
+            stream2d(u(1), Direction.LOAD, centre - 1)  # A[i][j-1]
+            stream2d(u(2), Direction.LOAD, centre + 1)  # A[i][j+1]
+            stream2d(u(3), Direction.LOAD, centre - n)  # A[i-1][j]
+            stream2d(u(4), Direction.LOAD, centre + n)  # A[i+1][j]
+            stream2d(u(5), Direction.STORE, de + n + 1)
+            b.label(tag)
+            b.emit(
+                uve.SoOp("add", u(7), u(0), u(1), etype=F32),
+                uve.SoOp("add", u(7), u(7), u(2), etype=F32),
+                uve.SoOp("add", u(7), u(7), u(3), etype=F32),
+                uve.SoOp("add", u(7), u(7), u(4), etype=F32),
+                uve.SoOp("mul", u(5), u(7), u(6), etype=F32),
+                uve.SoBranchEnd(u(0), tag, negate=True),
+            )
+
+        sweep("s1", wl.addr("a"), wl.addr("b"))
+        sweep("s2", wl.addr("b"), wl.addr("a"))
+        b.emit(sc.Halt())
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        if isa == "sve":
+            return self._build_sve(wl)
+        return self._build_neon(wl)
+
+    def _build_sve(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder("jacobi2d-sve")
+        b.emit(sc.FLi(f(0), FIFTH), sve.Dup(u(0), f(0), etype=F32))
+
+        def sweep(tag, src, dst):
+            xc, xd, xi, xoff, xw, xt = x(8), x(9), x(10), x(11), x(12), x(13)
+            b.emit(
+                sc.Li(xc, src + 4 * (n + 1)),
+                sc.Li(xd, dst + 4 * (n + 1)),
+                sc.Li(xw, n - 2), sc.Li(xi, 0),
+            )
+            b.label(f"{tag}_row")
+            b.emit(sc.Li(xoff, 0), sve.WhileLt(p(1), xoff, xw, etype=F32))
+            b.label(f"{tag}_col")
+            b.emit(
+                sve.Ld1(u(1), p(1), xc, index=xoff, etype=F32),
+                sc.IntOp("sub", xt, xc, 4),
+                sve.Ld1(u(2), p(1), xt, index=xoff, etype=F32),
+                sc.IntOp("add", xt, xc, 4),
+                sve.Ld1(u(3), p(1), xt, index=xoff, etype=F32),
+                sc.IntOp("sub", xt, xc, 4 * n),
+                sve.Ld1(u(4), p(1), xt, index=xoff, etype=F32),
+                sc.IntOp("add", xt, xc, 4 * n),
+                sve.Ld1(u(5), p(1), xt, index=xoff, etype=F32),
+                sve.VOp("add", u(1), p(1), u(1), u(2), etype=F32),
+                sve.VOp("add", u(1), p(1), u(1), u(3), etype=F32),
+                sve.VOp("add", u(1), p(1), u(1), u(4), etype=F32),
+                sve.VOp("add", u(1), p(1), u(1), u(5), etype=F32),
+                sve.VOp("mul", u(1), p(1), u(1), u(0), etype=F32),
+                sve.St1(u(1), p(1), xd, index=xoff, etype=F32),
+                sve.IncElems(xoff, etype=F32),
+                sve.WhileLt(p(1), xoff, xw, etype=F32),
+                sve.BranchPred("first", p(1), f"{tag}_col", etype=F32),
+            )
+            b.emit(
+                sc.IntOp("add", xc, xc, 4 * n),
+                sc.IntOp("add", xd, xd, 4 * n),
+                sc.IntOp("add", xi, xi, 1),
+                sc.BranchCmp("lt", xi, n - 2, f"{tag}_row"),
+            )
+
+        sweep("s1", wl.addr("a"), wl.addr("b"))
+        sweep("s2", wl.addr("b"), wl.addr("a"))
+        b.emit(sc.Halt())
+        return b.build()
+
+    def _build_neon(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder("jacobi2d-neon")
+        b.emit(sc.FLi(f(0), FIFTH), neon.NVDup(u(0), f(0), etype=F32))
+
+        def sweep(tag, src, dst):
+            width = n - 2
+            main = width - width % 4
+            xc, xd, xi, xoff, xt = x(8), x(9), x(10), x(11), x(13)
+            b.emit(
+                sc.Li(xc, src + 4 * (n + 1)),
+                sc.Li(xd, dst + 4 * (n + 1)),
+                sc.Li(xi, 0),
+            )
+            b.label(f"{tag}_row")
+            b.emit(sc.Li(xoff, 0), sc.Move(x(14), xc), sc.Move(x(15), xd))
+            b.emit(sc.BranchCmp("ge", xoff, main, f"{tag}_tail"))
+            b.label(f"{tag}_col")
+            b.emit(
+                neon.NVLoad(u(1), x(14), 0, etype=F32),
+                neon.NVLoad(u(2), x(14), -4, etype=F32),
+                neon.NVLoad(u(3), x(14), 4, etype=F32),
+                neon.NVLoad(u(4), x(14), -4 * n, etype=F32),
+                neon.NVLoad(u(5), x(14), 4 * n, etype=F32),
+                neon.NVOp("add", u(1), u(1), u(2), etype=F32),
+                neon.NVOp("add", u(1), u(1), u(3), etype=F32),
+                neon.NVOp("add", u(1), u(1), u(4), etype=F32),
+                neon.NVOp("add", u(1), u(1), u(5), etype=F32),
+                neon.NVOp("mul", u(1), u(1), u(0), etype=F32),
+                neon.NVStore(u(1), x(15), etype=F32, post_inc=True),
+                sc.IntOp("add", x(14), x(14), 16),
+                sc.IntOp("add", xoff, xoff, 4),
+                sc.BranchCmp("lt", xoff, main, f"{tag}_col"),
+            )
+            b.label(f"{tag}_tail")
+            b.emit(sc.BranchCmp("ge", xoff, width, f"{tag}_next"))
+            b.label(f"{tag}_tail_loop")
+            b.emit(
+                sc.Load(f(1), x(14), 0, etype=F32),
+                sc.Load(f(2), x(14), -4, etype=F32),
+                sc.Load(f(3), x(14), 4, etype=F32),
+                sc.Load(f(4), x(14), -4 * n, etype=F32),
+                sc.Load(f(5), x(14), 4 * n, etype=F32),
+                sc.FOp("add", f(1), f(1), f(2)),
+                sc.FOp("add", f(1), f(1), f(3)),
+                sc.FOp("add", f(1), f(1), f(4)),
+                sc.FOp("add", f(1), f(1), f(5)),
+                sc.FOp("mul", f(1), f(1), f(0)),
+                sc.Store(f(1), x(15), 0, etype=F32),
+                sc.IntOp("add", x(14), x(14), 4),
+                sc.IntOp("add", x(15), x(15), 4),
+                sc.IntOp("add", xoff, xoff, 1),
+                sc.BranchCmp("lt", xoff, width, f"{tag}_tail_loop"),
+            )
+            b.label(f"{tag}_next")
+            b.emit(
+                sc.IntOp("add", xc, xc, 4 * n),
+                sc.IntOp("add", xd, xd, 4 * n),
+                sc.IntOp("add", xi, xi, 1),
+                sc.BranchCmp("lt", xi, n - 2, f"{tag}_row"),
+            )
+
+        sweep("s1", wl.addr("a"), wl.addr("b"))
+        sweep("s2", wl.addr("b"), wl.addr("a"))
+        b.emit(sc.Halt())
+        return b.build()
+
+    def build_rvv(self, wl: Workload) -> Program:
+        """RVV strip-mined 2-D sweeps: the inner row loop re-runs
+        vsetvli per strip; rows advance with scalar arithmetic."""
+        from repro.isa import rvv_ops as rvv
+        n = wl.params["n"]
+        b = ProgramBuilder("jacobi2d-rvv")
+        b.emit(sc.FLi(f(0), FIFTH))
+
+        def sweep(tag, src, dst):
+            remaining, vl, step = x(3), x(4), x(5)
+            xc, xd, xi = x(8), x(9), x(10)
+            xrow_c, xrow_d = x(11), x(12)
+            b.emit(
+                sc.Li(xrow_c, src + 4 * (n + 1)),
+                sc.Li(xrow_d, dst + 4 * (n + 1)),
+                sc.Li(xi, 0),
+            )
+            b.label(f"{tag}_row")
+            b.emit(
+                sc.Li(remaining, n - 2),
+                sc.Move(xc, xrow_c),
+                sc.Move(xd, xrow_d),
+            )
+            b.label(f"{tag}_strip")
+            b.emit(
+                rvv.VSetVli(vl, remaining, etype=F32),
+                rvv.VlLoad(u(1), xc, etype=F32),               # centre
+                sc.IntOp("sub", x(13), xc, 4),
+                rvv.VlLoad(u(2), x(13), etype=F32),            # west
+                sc.IntOp("add", x(13), xc, 4),
+                rvv.VlLoad(u(3), x(13), etype=F32),            # east
+                sc.IntOp("sub", x(13), xc, 4 * n),
+                rvv.VlLoad(u(4), x(13), etype=F32),            # north
+                sc.IntOp("add", x(13), xc, 4 * n),
+                rvv.VlLoad(u(5), x(13), etype=F32),            # south
+                rvv.VOpVV("add", u(1), u(1), u(2), etype=F32),
+                rvv.VOpVV("add", u(1), u(1), u(3), etype=F32),
+                rvv.VOpVV("add", u(1), u(1), u(4), etype=F32),
+                rvv.VOpVV("add", u(1), u(1), u(5), etype=F32),
+                rvv.VOpVF("mul", u(1), u(1), f(0), etype=F32),
+                rvv.VlStore(u(1), xd, etype=F32),
+                sc.IntOp("sub", remaining, remaining, vl),
+                sc.IntOp("sll", step, vl, 2),
+                sc.IntOp("add", xc, xc, step),
+                sc.IntOp("add", xd, xd, step),
+                sc.BranchCmp("ne", remaining, 0, f"{tag}_strip"),
+            )
+            b.emit(
+                sc.IntOp("add", xrow_c, xrow_c, 4 * n),
+                sc.IntOp("add", xrow_d, xrow_d, 4 * n),
+                sc.IntOp("add", xi, xi, 1),
+                sc.BranchCmp("lt", xi, n - 2, f"{tag}_row"),
+            )
+
+        sweep("s1", wl.addr("a"), wl.addr("b"))
+        sweep("s2", wl.addr("b"), wl.addr("a"))
+        b.emit(sc.Halt())
+        return b.build()

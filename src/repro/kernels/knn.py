@@ -1,0 +1,207 @@
+"""Benchmark M: knn — nearest-neighbour distance scan (data mining).
+
+Computes the squared Euclidean distance from a query point to every
+point of a 3-D point cloud (coordinates in structure-of-arrays layout)
+and reduces to the minimum distance — three input streams and a running
+vector minimum.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, p, u, x
+from repro.isa import neon_ops as neon
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+QUERY = (0.25, -0.5, 0.75)
+BIG = 1e30
+
+
+class KnnKernel(Kernel):
+    name = "knn"
+    letter = "M"
+    domain = "data mining"
+    n_streams = 3
+    max_nesting = 1
+    n_kernels = 1
+    pattern = "1D"
+
+    default_n = 8192
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=64, multiple=16)
+        rng = np.random.default_rng(seed)
+        xs = rng.standard_normal(n).astype(np.float32)
+        ys = rng.standard_normal(n).astype(np.float32)
+        zs = rng.standard_normal(n).astype(np.float32)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("x", xs)
+        wl.place("y", ys)
+        wl.place("z", zs)
+        wl.place("best", np.zeros(1, dtype=np.float32))
+        qx, qy, qz = QUERY
+        dist = (
+            (xs.astype(np.float64) - qx) ** 2
+            + (ys.astype(np.float64) - qy) ** 2
+            + (zs.astype(np.float64) - qz) ** 2
+        )
+        wl.expected["best"] = np.array([dist.min()], dtype=np.float32)
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder("knn-uve")
+        for reg, name in zip((u(0), u(1), u(2)), ("x", "y", "z")):
+            b.emit(
+                uve.SsConfig1D(reg, Direction.LOAD, wl.addr(name) // 4, n, 1, etype=F32)
+            )
+        qx, qy, qz = QUERY
+        b.emit(
+            sc.FLi(f(1), qx), sc.FLi(f(2), qy), sc.FLi(f(3), qz),
+            uve.SoDup(u(6), BIG, etype=F32),
+            sc.Li(x(8), wl.addr("best")),
+        )
+        b.label("loop")
+        b.emit(
+            uve.SoOpScalar("sub", u(3), u(0), f(1), etype=F32),
+            uve.SoOpScalar("sub", u(4), u(1), f(2), etype=F32),
+            uve.SoOpScalar("sub", u(5), u(2), f(3), etype=F32),
+            uve.SoOp("mul", u(7), u(3), u(3), etype=F32),
+            uve.SoMac(u(7), u(4), u(4), etype=F32),
+            uve.SoMac(u(7), u(5), u(5), etype=F32),
+            uve.SoOp("min", u(6), u(6), u(7), etype=F32),
+            uve.SoBranchEnd(u(0), "loop", negate=True),
+        )
+        b.emit(
+            uve.SoRedScalar("min", f(4), u(6), etype=F32),
+            sc.Store(f(4), x(8), 0, etype=F32),
+            sc.Halt(),
+        )
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        n = wl.params["n"]
+        if isa == "sve":
+            return self._build_sve(wl, n)
+        return self._build_neon(wl, n)
+
+    def _build_sve(self, wl, n):
+        b = ProgramBuilder("knn-sve")
+        xx, xy, xz, xoff, xn = x(8), x(9), x(10), x(11), x(12)
+        qx, qy, qz = QUERY
+        b.emit(
+            sc.Li(xx, wl.addr("x")), sc.Li(xy, wl.addr("y")),
+            sc.Li(xz, wl.addr("z")), sc.Li(xn, n), sc.Li(xoff, 0),
+            sve.Dup(u(4), qx, etype=F32),
+            sve.Dup(u(5), qy, etype=F32),
+            sve.Dup(u(6), qz, etype=F32),
+            sve.Dup(u(7), BIG, etype=F32),
+            sve.WhileLt(p(1), xoff, xn, etype=F32),
+        )
+        b.label("loop")
+        b.emit(
+            sve.Ld1(u(0), p(1), xx, index=xoff, etype=F32),
+            sve.Ld1(u(1), p(1), xy, index=xoff, etype=F32),
+            sve.Ld1(u(2), p(1), xz, index=xoff, etype=F32),
+            sve.VOp("sub", u(0), p(1), u(0), u(4), etype=F32),
+            sve.VOp("sub", u(1), p(1), u(1), u(5), etype=F32),
+            sve.VOp("sub", u(2), p(1), u(2), u(6), etype=F32),
+            sve.VOp("mul", u(3), p(1), u(0), u(0), etype=F32),
+            sve.Fmla(u(3), p(1), u(1), u(1), etype=F32),
+            sve.Fmla(u(3), p(1), u(2), u(2), etype=F32),
+            sve.VOp("min", u(7), p(1), u(7), u(3), etype=F32),
+            sve.IncElems(xoff, etype=F32),
+            sve.WhileLt(p(1), xoff, xn, etype=F32),
+            sve.BranchPred("first", p(1), "loop", etype=F32),
+        )
+        b.emit(
+            sve.Red("min", f(4), p(0), u(7), etype=F32),
+            sc.Li(x(13), wl.addr("best")),
+            sc.Store(f(4), x(13), 0, etype=F32),
+            sc.Halt(),
+        )
+        return b.build()
+
+    def build_rvv(self, wl: Workload) -> Program:
+        from repro.isa import rvv_ops as rvv
+        n = wl.params["n"]
+        b = ProgramBuilder("knn-rvv")
+        remaining, vl, step = x(3), x(4), x(5)
+        xx, xy, xz = x(8), x(9), x(10)
+        qx, qy, qz = QUERY
+        b.emit(
+            sc.Li(remaining, n),
+            sc.Li(xx, wl.addr("x")), sc.Li(xy, wl.addr("y")),
+            sc.Li(xz, wl.addr("z")),
+            sc.FLi(f(1), qx), sc.FLi(f(2), qy), sc.FLi(f(3), qz),
+            sc.FLi(f(5), BIG),
+        )
+        b.label("loop")
+        b.emit(
+            rvv.VSetVli(vl, remaining, etype=F32),
+            rvv.VlLoad(u(0), xx, etype=F32),
+            rvv.VlLoad(u(1), xy, etype=F32),
+            rvv.VlLoad(u(2), xz, etype=F32),
+            rvv.VOpVF("sub", u(0), u(0), f(1), etype=F32),
+            rvv.VOpVF("sub", u(1), u(1), f(2), etype=F32),
+            rvv.VOpVF("sub", u(2), u(2), f(3), etype=F32),
+            rvv.VOpVV("mul", u(3), u(0), u(0), etype=F32),
+            rvv.VMaccVV(u(3), u(1), u(1), etype=F32),
+            rvv.VMaccVV(u(3), u(2), u(2), etype=F32),
+            rvv.VRed("min", f(4), u(3), etype=F32),
+            sc.FOp("min", f(5), f(5), f(4)),
+            sc.IntOp("sub", remaining, remaining, vl),
+            sc.IntOp("sll", step, vl, 2),
+            sc.IntOp("add", xx, xx, step),
+            sc.IntOp("add", xy, xy, step),
+            sc.IntOp("add", xz, xz, step),
+            sc.BranchCmp("ne", remaining, 0, "loop"),
+        )
+        b.emit(
+            sc.Li(x(13), wl.addr("best")),
+            sc.Store(f(5), x(13), 0, etype=F32),
+            sc.Halt(),
+        )
+        return b.build()
+
+    def _build_neon(self, wl, n):
+        b = ProgramBuilder("knn-neon")
+        xx, xy, xz, xoff = x(8), x(9), x(10), x(11)
+        qx, qy, qz = QUERY
+        b.emit(
+            sc.Li(xx, wl.addr("x")), sc.Li(xy, wl.addr("y")),
+            sc.Li(xz, wl.addr("z")), sc.Li(xoff, 0),
+            neon.NVDup(u(4), qx, etype=F32),
+            neon.NVDup(u(5), qy, etype=F32),
+            neon.NVDup(u(6), qz, etype=F32),
+            neon.NVDup(u(7), BIG, etype=F32),
+        )
+        b.label("loop")
+        b.emit(
+            neon.NVLoad(u(0), xx, etype=F32, post_inc=True),
+            neon.NVLoad(u(1), xy, etype=F32, post_inc=True),
+            neon.NVLoad(u(2), xz, etype=F32, post_inc=True),
+            neon.NVOp("sub", u(0), u(0), u(4), etype=F32),
+            neon.NVOp("sub", u(1), u(1), u(5), etype=F32),
+            neon.NVOp("sub", u(2), u(2), u(6), etype=F32),
+            neon.NVOp("mul", u(3), u(0), u(0), etype=F32),
+            neon.NVFma(u(3), u(1), u(1), etype=F32),
+            neon.NVFma(u(3), u(2), u(2), etype=F32),
+            neon.NVOp("min", u(7), u(7), u(3), etype=F32),
+            sc.IntOp("add", xoff, xoff, 4),
+            sc.BranchCmp("lt", xoff, n, "loop"),
+        )
+        b.emit(
+            neon.NVRed("min", f(4), u(7), etype=F32),
+            sc.Li(x(13), wl.addr("best")),
+            sc.Store(f(4), x(13), 0, etype=F32),
+            sc.Halt(),
+        )
+        return b.build()

@@ -1,0 +1,271 @@
+"""Benchmarks O/P/Q: MAMR — maximum across matrix rows (paper Fig. 2).
+
+Three access-pattern variants share *exactly the same* UVE compute code
+(the figure's central point):
+
+* **O (mamr)** — full matrix, rectangular 2-D stream;
+* **P (mamr-diag)** — lower-triangular matrix, static size modifier;
+* **Q (mamr-ind)** — rows selected through a pointer array (indirect
+  modifier, "full matrix with pointers to an array").
+
+None of these were vectorized by the ARM SVE compiler (starred in
+Fig. 8), so both baselines run scalar code.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, u, x
+from repro.isa import scalar_ops as sc
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.descriptor import IndirectBehavior, Param, StaticBehavior
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+I32 = ElementType.I32
+
+
+def emit_uve_mamr_body(b):
+    """The Fig. 2.D loop: identical for every pattern variant.
+
+    Expects u0 = input stream (matrix rows), u1 = output stream (one
+    element per row)."""
+    b.label("next_line")
+    b.emit(
+        uve.SoMove(u(5), u(0), etype=F32),
+        uve.SoBranchDim(u(0), 0, "hmax", complete=True),
+    )
+    b.label("loop")
+    b.emit(
+        uve.SoOp("max", u(5), u(5), u(0), etype=F32),
+        uve.SoBranchDim(u(0), 0, "loop", complete=False),
+    )
+    b.label("hmax")
+    b.emit(
+        uve.SoRed("max", u(1), u(5), etype=F32),
+        uve.SoBranchEnd(u(0), "next_line", negate=True),
+        sc.Halt(),
+    )
+
+
+class _MamrBase(Kernel):
+    domain = "data mining"
+    sve_vectorized = False
+    max_nesting = 2
+    n_kernels = 1
+
+    default_rows = 96
+
+    def _uve_program(self, name, config_emitter) -> Program:
+        b = ProgramBuilder(name)
+        config_emitter(b)
+        emit_uve_mamr_body(b)
+        return b.build()
+
+
+class MamrKernel(_MamrBase):
+    name = "mamr"
+    letter = "O"
+    n_streams = 2
+    pattern = "2D"
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_rows, scale, minimum=4)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("a", a)
+        wl.place("c", np.zeros(n, dtype=np.float32))
+        wl.expected["c"] = a.max(axis=1)
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+
+        def config(b):
+            b.emit(
+                uve.SsSta(u(0), Direction.LOAD, wl.addr("a") // 4, n, 1, etype=F32),
+                uve.SsApp(u(0), 0, n, n, last=True),
+                uve.SsConfig1D(u(1), Direction.STORE, wl.addr("c") // 4, n, 1, etype=F32),
+            )
+
+        return self._uve_program("mamr-uve", config)
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        raise AssertionError("mamr is not vectorized by the baselines")
+
+    def build_scalar(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder("mamr-scalar")
+        xa, xc, xi, xj = x(8), x(9), x(10), x(11)
+        b.emit(sc.Li(xa, wl.addr("a")), sc.Li(xc, wl.addr("c")), sc.Li(xi, 0))
+        b.label("row")
+        b.emit(
+            sc.Load(f(1), xa, 0, etype=F32),
+            sc.IntOp("add", xa, xa, 4),
+            sc.Li(xj, 1),
+        )
+        b.label("elem")
+        b.emit(
+            sc.Load(f(2), xa, 0, etype=F32),
+            sc.FOp("max", f(1), f(1), f(2)),
+            sc.IntOp("add", xa, xa, 4),
+            sc.IntOp("add", xj, xj, 1),
+            sc.BranchCmp("lt", xj, n, "elem"),
+        )
+        b.emit(
+            sc.Store(f(1), xc, 0, etype=F32),
+            sc.IntOp("add", xc, xc, 4),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, n, "row"),
+            sc.Halt(),
+        )
+        return b.build()
+
+
+class MamrDiagKernel(_MamrBase):
+    name = "mamr-diag"
+    letter = "P"
+    n_streams = 2
+    pattern = "2D+static-modifier"
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_rows, scale, minimum=4)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("a", a)
+        wl.place("c", np.zeros(n, dtype=np.float32))
+        wl.expected["c"] = np.array(
+            [a[i, : i + 1].max() for i in range(n)], dtype=np.float32
+        )
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+
+        def config(b):
+            # Row i covers i+1 elements: initial size 0 plus ADD-1 per row.
+            b.emit(
+                uve.SsSta(u(0), Direction.LOAD, wl.addr("a") // 4, 0, 1, etype=F32),
+                uve.SsApp(u(0), 0, n, n),
+                uve.SsAppMod(u(0), Param.SIZE, StaticBehavior.ADD, 1, n, last=True),
+                uve.SsConfig1D(u(1), Direction.STORE, wl.addr("c") // 4, n, 1, etype=F32),
+            )
+
+        return self._uve_program("mamr-diag-uve", config)
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        raise AssertionError("mamr-diag is not vectorized by the baselines")
+
+    def build_scalar(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder("mamr-diag-scalar")
+        xa, xc, xi, xj, xrow = x(8), x(9), x(10), x(11), x(12)
+        b.emit(sc.Li(xrow, wl.addr("a")), sc.Li(xc, wl.addr("c")), sc.Li(xi, 0))
+        b.label("row")
+        b.emit(
+            sc.Move(xa, xrow),
+            sc.Load(f(1), xa, 0, etype=F32),
+            sc.IntOp("add", xa, xa, 4),
+            sc.Li(xj, 0),
+        )
+        b.label("elem")
+        b.emit(
+            sc.BranchCmp("ge", xj, xi, "store"),
+            sc.Load(f(2), xa, 0, etype=F32),
+            sc.FOp("max", f(1), f(1), f(2)),
+            sc.IntOp("add", xa, xa, 4),
+            sc.IntOp("add", xj, xj, 1),
+            sc.Jump("elem"),
+        )
+        b.label("store")
+        b.emit(
+            sc.Store(f(1), xc, 0, etype=F32),
+            sc.IntOp("add", xc, xc, 4),
+            sc.IntOp("add", xrow, xrow, 4 * n),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, n, "row"),
+            sc.Halt(),
+        )
+        return b.build()
+
+
+class MamrIndKernel(_MamrBase):
+    name = "mamr-ind"
+    letter = "Q"
+    n_streams = 3
+    pattern = "2D+indirect-modifier"
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_rows, scale, minimum=4)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        # Row pointers: a permutation, stored as element offsets.
+        perm = rng.permutation(n).astype(np.int32)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("a", a)
+        wl.place("bidx", perm * np.int32(n))
+        wl.place("c", np.zeros(n, dtype=np.float32))
+        wl.expected["c"] = a[perm].max(axis=1)
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+
+        def config(b):
+            b.emit(
+                # Origin stream: the row-pointer array (engine-internal
+                # once linked into the indirect modifier).
+                uve.SsConfig1D(u(3), Direction.LOAD, wl.addr("bidx") // 4, n, 1,
+                               etype=I32),
+                # Dependent stream: one row per origin value.
+                uve.SsSta(u(0), Direction.LOAD, wl.addr("a") // 4, n, 1, etype=F32),
+                uve.SsAppInd(u(0), Param.OFFSET, IndirectBehavior.SET_ADD, u(3),
+                             last=True),
+                uve.SsConfig1D(u(1), Direction.STORE, wl.addr("c") // 4, n, 1,
+                               etype=F32),
+            )
+
+        return self._uve_program("mamr-ind-uve", config)
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        raise AssertionError("mamr-ind is not vectorized by the baselines")
+
+    def build_scalar(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder("mamr-ind-scalar")
+        xa, xb, xc, xi, xj, xrow = x(8), x(9), x(10), x(11), x(12), x(13)
+        b.emit(
+            sc.Li(xa, wl.addr("a")), sc.Li(xb, wl.addr("bidx")),
+            sc.Li(xc, wl.addr("c")), sc.Li(xi, 0),
+        )
+        b.label("row")
+        b.emit(
+            sc.Load(xrow, xb, 0, etype=I32),
+            sc.IntOp("sll", xrow, xrow, 2),
+            sc.IntOp("add", xrow, xrow, xa),
+            sc.Load(f(1), xrow, 0, etype=F32),
+            sc.IntOp("add", xrow, xrow, 4),
+            sc.Li(xj, 1),
+        )
+        b.label("elem")
+        b.emit(
+            sc.Load(f(2), xrow, 0, etype=F32),
+            sc.FOp("max", f(1), f(1), f(2)),
+            sc.IntOp("add", xrow, xrow, 4),
+            sc.IntOp("add", xj, xj, 1),
+            sc.BranchCmp("lt", xj, n, "elem"),
+        )
+        b.emit(
+            sc.Store(f(1), xc, 0, etype=F32),
+            sc.IntOp("add", xc, xc, 4),
+            sc.IntOp("add", xb, xb, 4),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, n, "row"),
+            sc.Halt(),
+        )
+        return b.build()

@@ -1,0 +1,79 @@
+"""Benchmark A: memcpy — pure 1-D streaming copy (memory domain)."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import scalar_ops as sc
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels import elementwise as ew
+from repro.kernels.base import Kernel, Workload, scaled
+
+
+class MemcpyKernel(Kernel):
+    name = "memcpy"
+    letter = "A"
+    domain = "memory"
+    n_streams = 2
+    max_nesting = 1
+    n_kernels = 1
+    pattern = "1D"
+
+    #: default element count: 2 x 256 KB, exceeding the L2 (DRAM-streaming,
+    #: as in the paper's memory benchmarks).
+    default_n = 65536
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=64, multiple=16)
+        rng = np.random.default_rng(seed)
+        src = rng.standard_normal(n).astype(np.float32)
+        dst = np.zeros(n, dtype=np.float32)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("src", src)
+        wl.place("dst", dst)
+        wl.expected["dst"] = src.copy()
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        def body(b, ins, out):
+            b.emit(uve.SoMove(out, ins[0], etype=ew.F32))
+
+        return ew.build_uve(
+            "memcpy-uve",
+            [wl.addr("src")],
+            wl.addr("dst"),
+            wl.params["n"],
+            body,
+        )
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        from repro.isa import neon_ops as neon
+        from repro.isa import sve_ops as sve
+
+        n = wl.params["n"]
+        if isa == "sve":
+            def body(b, ins, out):
+                return ins[0]  # store the loaded register directly
+
+            return ew.build_sve(
+                "memcpy-sve", [wl.addr("src")], wl.addr("dst"), n, body
+            )
+
+        def body(b, ins, out):
+            return ins[0]
+
+        def scalar_body(b, ins, out):
+            return ins[0]
+
+        return ew.build_neon(
+            "memcpy-neon", [wl.addr("src")], wl.addr("dst"), n, body, scalar_body
+        )
+
+    def build_rvv(self, wl):
+        def body(b, ins, out):
+            return ins[0]
+
+        return ew.build_rvv(
+            "memcpy-rvv", [wl.addr("src")], wl.addr("dst"),
+            wl.params["n"], body,
+        )

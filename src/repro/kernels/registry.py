@@ -1,0 +1,75 @@
+"""Registry of all evaluation kernels (paper Fig. 8, benchmarks A–S)."""
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.kernels.base import Kernel
+
+_REGISTRY: Dict[str, Kernel] = {}
+
+
+def register(kernel_cls) -> None:
+    kernel = kernel_cls()
+    if kernel.name in _REGISTRY:
+        raise ConfigError(f"duplicate kernel {kernel.name!r}")
+    _REGISTRY[kernel.name] = kernel
+
+
+def get_kernel(name: str) -> Kernel:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_kernels() -> List[Kernel]:
+    """All kernels in the paper's A..S order."""
+    return sorted(_REGISTRY.values(), key=lambda k: k.letter)
+
+
+def kernel_names() -> List[str]:
+    return [k.name for k in all_kernels()]
+
+
+def _populate() -> None:
+    from repro.kernels.memcpy import MemcpyKernel
+    from repro.kernels.stream import StreamKernel
+    from repro.kernels.saxpy import SaxpyKernel
+
+    for cls in (MemcpyKernel, StreamKernel, SaxpyKernel):
+        register(cls)
+
+    # Later benchmark modules register lazily to keep import costs low and
+    # to allow partial builds during development.
+    optional = [
+        ("repro.kernels.gemm", "GemmKernel"),
+        ("repro.kernels.threemm", "ThreeMmKernel"),
+        ("repro.kernels.mvt", "MvtKernel"),
+        ("repro.kernels.gemver", "GemverKernel"),
+        ("repro.kernels.trisolv", "TrisolvKernel"),
+        ("repro.kernels.jacobi1d", "Jacobi1dKernel"),
+        ("repro.kernels.jacobi2d", "Jacobi2dKernel"),
+        ("repro.kernels.irsmk", "IrsmkKernel"),
+        ("repro.kernels.haccmk", "HaccmkKernel"),
+        ("repro.kernels.knn", "KnnKernel"),
+        ("repro.kernels.covariance", "CovarianceKernel"),
+        ("repro.kernels.mamr", "MamrKernel"),
+        ("repro.kernels.mamr", "MamrDiagKernel"),
+        ("repro.kernels.mamr", "MamrIndKernel"),
+        ("repro.kernels.seidel2d", "Seidel2dKernel"),
+        ("repro.kernels.floyd_warshall", "FloydWarshallKernel"),
+    ]
+    import importlib
+
+    for module_name, cls_name in optional:
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        register(getattr(module, cls_name))
+
+
+_populate()

@@ -1,0 +1,105 @@
+"""Benchmark C: saxpy — the paper's running example (Fig. 1 / Fig. 4)."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import f, u
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import neon_ops as neon
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels import elementwise as ew
+from repro.kernels.base import Kernel, Workload, scaled
+
+F32 = ElementType.F32
+A = 2.5
+
+
+class SaxpyKernel(Kernel):
+    name = "saxpy"
+    letter = "C"
+    domain = "BLAS"
+    n_streams = 3
+    max_nesting = 1
+    n_kernels = 1
+    pattern = "1D"
+
+    default_n = 16384  # 3 x 64 KB working set: beyond the L1
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=64, multiple=16)
+        rng = np.random.default_rng(seed)
+        xs = rng.standard_normal(n).astype(np.float32)
+        ys = rng.standard_normal(n).astype(np.float32)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("x", xs)
+        wl.place("y", ys)
+        wl.expected["y"] = np.float32(A) * xs + ys
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        def setup(b):
+            b.emit(sc.FLi(f(0), A), uve.SoDup(u(3), f(0), etype=F32))
+
+        def body(b, ins, out):
+            b.emit(
+                uve.SoOp("mul", u(4), u(3), ins[0], etype=F32),
+                uve.SoOp("add", out, u(4), ins[1], etype=F32),
+            )
+
+        return ew.build_uve(
+            "saxpy-uve",
+            [wl.addr("x"), wl.addr("y")],
+            wl.addr("y"),
+            wl.params["n"],
+            body,
+            setup=setup,
+        )
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        n = wl.params["n"]
+        ins = [wl.addr("x"), wl.addr("y")]
+        out = wl.addr("y")
+        if isa == "sve":
+            def setup(b):
+                b.emit(sc.FLi(f(0), A), sve.Dup(u(0), f(0), etype=F32))
+
+            def body(b, regs, _out):
+                from repro.isa.registers import p
+                b.emit(sve.Fmla(regs[1], p(1), regs[0], u(0), etype=F32))
+                return regs[1]
+
+            return ew.build_sve("saxpy-sve", ins, out, n, body, setup=setup)
+
+        def setup(b):
+            b.emit(sc.FLi(f(0), A), neon.NVDup(u(0), f(0), etype=F32))
+
+        def body(b, regs, _out):
+            b.emit(neon.NVFma(regs[1], regs[0], u(0), etype=F32))
+            return regs[1]
+
+        def scalar_body(b, regs, _out):
+            b.emit(sc.FMac(regs[1], regs[0], f(0)))
+            return regs[1]
+
+        return ew.build_neon(
+            "saxpy-neon", ins, out, n, body, scalar_body, setup=setup
+        )
+
+    def build_rvv(self, wl: Workload) -> Program:
+        """Fig. 1.C: vsetvli / vlw.v / vlw.v / vfmacc.vf / vsw.v loop."""
+        from repro.isa import rvv_ops as rvv
+
+        def setup(b):
+            b.emit(sc.FLi(f(0), A))
+
+        def body(b, regs, _out):
+            b.emit(rvv.VMaccVF(regs[1], f(0), regs[0], etype=F32))
+            return regs[1]
+
+        return ew.build_rvv(
+            "saxpy-rvv", [wl.addr("x"), wl.addr("y")], wl.addr("y"),
+            wl.params["n"], body, setup=setup,
+        )

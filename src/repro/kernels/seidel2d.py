@@ -1,0 +1,148 @@
+"""Benchmark R: seidel-2d (PolyBench) — an in-place 9-point Gauss-Seidel
+sweep with loop-carried dependences; starred (not vectorizable), so the
+baselines run scalar code and the UVE build uses the *scalar-stream
+processing* interface (§III-B): streams deliver every neighbour value
+element-wise, eliminating loads and index arithmetic even though the
+computation itself cannot be vectorized.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, u, x
+from repro.isa import scalar_ops as sc
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+NINTH = 1.0 / 9.0
+
+#: neighbour offsets streamed (the west neighbour A[i][j-1] is the
+#: previous iteration's freshly-computed value, carried in a register).
+STREAM_OFFSETS = [(-1, -1), (-1, 0), (-1, 1), (0, 0), (0, 1), (1, -1), (1, 0), (1, 1)]
+
+
+def seidel2d_reference(a):
+    a = a.copy()
+    n = a.shape[0]
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            a[i, j] = (
+                a[i - 1, j - 1] + a[i - 1, j] + a[i - 1, j + 1]
+                + a[i, j - 1] + a[i, j] + a[i, j + 1]
+                + a[i + 1, j - 1] + a[i + 1, j] + a[i + 1, j + 1]
+            ) / 9.0
+    return a
+
+
+class Seidel2dKernel(Kernel):
+    name = "seidel-2d"
+    letter = "R"
+    domain = "stencil"
+    n_streams = 9
+    max_nesting = 2
+    n_kernels = 1
+    pattern = "2D"
+    sve_vectorized = False
+
+    default_n = 64
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=8)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("a", a)
+        wl.expected["a"] = seidel2d_reference(a.astype(np.float64)).astype(
+            np.float32
+        )
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+        ae = wl.addr("a") // 4
+        centre = ae + n + 1
+        rows = cols = n - 2
+        b = ProgramBuilder("seidel2d-uve")
+        # u0..u7: neighbour input streams; u8: output stream.
+        for idx, (di, dj) in enumerate(STREAM_OFFSETS):
+            b.emit(
+                uve.SsSta(u(idx), Direction.LOAD, centre + di * n + dj, cols, 1,
+                          etype=F32),
+                uve.SsApp(u(idx), 0, rows, n, last=True),
+            )
+        b.emit(
+            uve.SsSta(u(8), Direction.STORE, centre, cols, 1, etype=F32),
+            uve.SsApp(u(8), 0, rows, n, last=True),
+        )
+        xrow = x(8)
+        b.emit(sc.Li(xrow, wl.addr("a") + 4 * n))  # &A[i][0]
+        b.label("row")
+        b.emit(sc.Load(f(1), xrow, 0, etype=F32))  # west boundary A[i][0]
+        b.label("elem")
+        # f(1) carries A[i][j-1] (the value just computed).
+        for idx in range(8):
+            b.emit(uve.SoScalarRead(f(2 + idx), u(idx), etype=F32))
+        b.emit(
+            sc.FOp("add", f(1), f(1), f(2)),
+            sc.FOp("add", f(1), f(1), f(3)),
+            sc.FOp("add", f(1), f(1), f(4)),
+            sc.FOp("add", f(1), f(1), f(5)),
+            sc.FOp("add", f(1), f(1), f(6)),
+            sc.FOp("add", f(1), f(1), f(7)),
+            sc.FOp("add", f(1), f(1), f(8)),
+            sc.FOp("add", f(1), f(1), f(9)),
+            sc.FOp("mul", f(1), f(1), NINTH),
+            uve.SoScalarWrite(u(8), f(1), etype=F32),
+            uve.SoBranchDim(u(0), 0, "elem", complete=False),
+            sc.IntOp("add", xrow, xrow, 4 * n),
+            uve.SoBranchEnd(u(0), "row", negate=True),
+        )
+        b.emit(sc.Halt())
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        raise AssertionError("seidel-2d is not vectorized by the baselines")
+
+    def build_scalar(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder("seidel2d-scalar")
+        xc, xi, xj = x(8), x(9), x(10)
+        b.emit(sc.Li(xc, wl.addr("a") + 4 * (n + 1)), sc.Li(xi, 0))
+        b.label("row")
+        b.emit(sc.Li(xj, 0), sc.Move(x(11), xc))
+        b.label("elem")
+        b.emit(
+            sc.Load(f(1), x(11), -4 * n - 4, etype=F32),
+            sc.Load(f(2), x(11), -4 * n, etype=F32),
+            sc.Load(f(3), x(11), -4 * n + 4, etype=F32),
+            sc.Load(f(4), x(11), -4, etype=F32),
+            sc.Load(f(5), x(11), 0, etype=F32),
+            sc.Load(f(6), x(11), 4, etype=F32),
+            sc.Load(f(7), x(11), 4 * n - 4, etype=F32),
+            sc.Load(f(8), x(11), 4 * n, etype=F32),
+            sc.Load(f(9), x(11), 4 * n + 4, etype=F32),
+            sc.FOp("add", f(1), f(1), f(2)),
+            sc.FOp("add", f(1), f(1), f(3)),
+            sc.FOp("add", f(1), f(1), f(4)),
+            sc.FOp("add", f(1), f(1), f(5)),
+            sc.FOp("add", f(1), f(1), f(6)),
+            sc.FOp("add", f(1), f(1), f(7)),
+            sc.FOp("add", f(1), f(1), f(8)),
+            sc.FOp("add", f(1), f(1), f(9)),
+            sc.FOp("mul", f(1), f(1), NINTH),
+            sc.Store(f(1), x(11), 0, etype=F32),
+            sc.IntOp("add", x(11), x(11), 4),
+            sc.IntOp("add", xj, xj, 1),
+            sc.BranchCmp("lt", xj, n - 2, "elem"),
+        )
+        b.emit(
+            sc.IntOp("add", xc, xc, 4 * n),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, n - 2, "row"),
+            sc.Halt(),
+        )
+        return b.build()

@@ -1,0 +1,252 @@
+"""Benchmark B: STREAM (McCalpin) — copy, scale, add, triad.
+
+Four disjoint 1-D kernels run back-to-back over three arrays, the
+classic memory-bandwidth benchmark; the paper's table reports it with
+the highest kernel count of the memory benchmarks.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, p, u, x
+from repro.isa import neon_ops as neon
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+SCALAR = 3.0
+
+
+def stream_reference(a, b, c, s):
+    """The four STREAM kernels in sequence (NumPy reference)."""
+    c1 = a.copy()  # copy:  c = a
+    b1 = s * c1  # scale: b = s*c
+    c2 = a + b1  # add:   c = a + b
+    a1 = b1 + s * c2  # triad: a = b + s*c
+    return a1, b1, c2
+
+
+class StreamKernel(Kernel):
+    name = "stream"
+    letter = "B"
+    domain = "memory"
+    n_streams = 10
+    max_nesting = 1
+    n_kernels = 4
+    pattern = "1D"
+
+    default_n = 24576  # 3 x 96 KB: beyond the L1, pressures the L2
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=64, multiple=16)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(n).astype(np.float32)
+        b = rng.standard_normal(n).astype(np.float32)
+        c = rng.standard_normal(n).astype(np.float32)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("a", a)
+        wl.place("b", b)
+        wl.place("c", c)
+        ea, eb, ec = stream_reference(a, b, c, np.float32(SCALAR))
+        wl.expected.update({"a": ea, "b": eb, "c": ec})
+        return wl
+
+    # -- UVE: each sub-kernel reconfigures its streams -----------------------
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+        a, bb, c = (wl.addr(k) // 4 for k in ("a", "b", "c"))
+        b = ProgramBuilder("stream-uve")
+        b.emit(sc.FLi(f(0), SCALAR), uve.SoDup(u(6), f(0), etype=F32))
+
+        def kernel(tag, ins, out, body):
+            for reg, addr in zip((u(0), u(1)), ins):
+                b.emit(uve.SsConfig1D(reg, Direction.LOAD, addr, n, 1, etype=F32))
+            b.emit(uve.SsConfig1D(u(2), Direction.STORE, out, n, 1, etype=F32))
+            b.label(tag)
+            body()
+            b.emit(uve.SoBranchEnd(u(0), tag, negate=True))
+
+        kernel("copy", [a], c, lambda: b.emit(uve.SoMove(u(2), u(0), etype=F32)))
+        kernel(
+            "scale", [c], bb,
+            lambda: b.emit(uve.SoOp("mul", u(2), u(6), u(0), etype=F32)),
+        )
+        kernel(
+            "add", [a, bb], c,
+            lambda: b.emit(uve.SoOp("add", u(2), u(0), u(1), etype=F32)),
+        )
+
+        def triad():
+            b.emit(
+                uve.SoOp("mul", u(4), u(6), u(1), etype=F32),
+                uve.SoOp("add", u(2), u(0), u(4), etype=F32),
+            )
+
+        kernel("triad", [bb, c], a, triad)
+        b.emit(sc.Halt())
+        return b.build()
+
+    # -- Baselines -------------------------------------------------------------
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        if isa == "sve":
+            return self._build_sve(wl)
+        return self._build_neon(wl)
+
+    def _build_sve(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        a, bb, c = (wl.addr(k) for k in ("a", "b", "c"))
+        b = ProgramBuilder("stream-sve")
+        bound, idx = x(3), x(4)
+        xa, xb, xc = x(8), x(9), x(10)
+        b.emit(
+            sc.Li(bound, n), sc.Li(xa, a), sc.Li(xb, bb), sc.Li(xc, c),
+            sc.FLi(f(0), SCALAR), sve.Dup(u(0), f(0), etype=F32),
+        )
+
+        def kernel(tag, loads, body, store_base):
+            b.emit(sc.Li(idx, 0), sve.WhileLt(p(1), idx, bound, etype=F32))
+            b.label(tag)
+            for reg, base in loads:
+                b.emit(sve.Ld1(reg, p(1), base, index=idx, etype=F32))
+            store_reg = body()
+            b.emit(
+                sve.St1(store_reg, p(1), store_base, index=idx, etype=F32),
+                sve.IncElems(idx, etype=F32),
+                sve.WhileLt(p(1), idx, bound, etype=F32),
+                sve.BranchPred("first", p(1), tag, etype=F32),
+            )
+
+        kernel("copy", [(u(1), xa)], lambda: u(1), xc)
+        kernel(
+            "scale", [(u(1), xc)],
+            lambda: b.emit(sve.VOp("mul", u(2), p(1), u(0), u(1), etype=F32)) or u(2),
+            xb,
+        )
+        kernel(
+            "add", [(u(1), xa), (u(2), xb)],
+            lambda: b.emit(sve.VOp("add", u(3), p(1), u(1), u(2), etype=F32)) or u(3),
+            xc,
+        )
+        kernel(
+            "triad", [(u(1), xb), (u(2), xc)],
+            lambda: b.emit(sve.Fmla(u(1), p(1), u(0), u(2), etype=F32)) or u(1),
+            xa,
+        )
+        b.emit(sc.Halt())
+        return b.build()
+
+    def _build_neon(self, wl: Workload) -> Program:
+        n = wl.params["n"]
+        lanes = 4
+        main = n - n % lanes
+        a, bb, c = (wl.addr(k) for k in ("a", "b", "c"))
+        b = ProgramBuilder("stream-neon")
+        idx, bound = x(4), x(3)
+        b.emit(sc.Li(bound, main), sc.FLi(f(0), SCALAR),
+               neon.NVDup(u(0), f(0), etype=F32))
+
+        def kernel(tag, ins, out, body, scalar_body):
+            bases = [x(8 + i) for i in range(len(ins))]
+            out_base = x(8 + len(ins))
+            for base, addr in zip(bases, ins):
+                b.emit(sc.Li(base, addr))
+            b.emit(sc.Li(out_base, out), sc.Li(idx, 0))
+            b.emit(sc.BranchCmp("ge", idx, bound, f"{tag}_tail"))
+            b.label(tag)
+            for reg, base in zip([u(1), u(2)], bases):
+                b.emit(neon.NVLoad(reg, base, etype=F32, post_inc=True))
+            store_reg = body()
+            b.emit(
+                neon.NVStore(store_reg, out_base, etype=F32, post_inc=True),
+                sc.IntOp("add", idx, idx, lanes),
+                sc.BranchCmp("lt", idx, bound, tag),
+            )
+            b.label(f"{tag}_tail")
+            b.emit(sc.Li(x(5), n), sc.BranchCmp("ge", idx, x(5), f"{tag}_done"))
+            b.label(f"{tag}_tail_loop")
+            for freg, base in zip([f(1), f(2)], bases):
+                b.emit(sc.Load(freg, base, 0, etype=F32))
+            store_freg = scalar_body()
+            b.emit(sc.Store(store_freg, out_base, 0, etype=F32))
+            for base in bases + [out_base]:
+                b.emit(sc.IntOp("add", base, base, 4))
+            b.emit(sc.IntOp("add", idx, idx, 1),
+                   sc.BranchCmp("lt", idx, x(5), f"{tag}_tail_loop"))
+            b.label(f"{tag}_done")
+
+        kernel("copy", [a], c, lambda: u(1), lambda: f(1))
+        kernel(
+            "scale", [c], bb,
+            lambda: b.emit(neon.NVOp("mul", u(2), u(0), u(1), etype=F32)) or u(2),
+            lambda: b.emit(sc.FOp("mul", f(2), f(1), SCALAR)) or f(2),
+        )
+        kernel(
+            "add", [a, bb], c,
+            lambda: b.emit(neon.NVOp("add", u(3), u(1), u(2), etype=F32)) or u(3),
+            lambda: b.emit(sc.FOp("add", f(3), f(1), f(2))) or f(3),
+        )
+        kernel(
+            "triad", [bb, c], a,
+            lambda: b.emit(neon.NVFma(u(1), u(0), u(2), etype=F32)) or u(1),
+            lambda: (
+                b.emit(sc.FOp("mul", f(3), f(2), SCALAR),
+                       sc.FOp("add", f(1), f(1), f(3)))
+                or f(1)
+            ),
+        )
+        b.emit(sc.Halt())
+        return b.build()
+
+
+    def build_rvv(self, wl: Workload) -> Program:
+        """RVV strip-mined versions of the four STREAM kernels."""
+        from repro.isa import rvv_ops as rvv
+        n = wl.params["n"]
+        a, bb, c = (wl.addr(k) for k in ("a", "b", "c"))
+        b = ProgramBuilder("stream-rvv")
+        remaining, vl, step = x(3), x(4), x(5)
+        b.emit(sc.FLi(f(0), SCALAR))
+
+        def kernel(tag, ins, out, body):
+            bases = [x(8 + i) for i in range(len(ins))]
+            out_base = x(8 + len(ins))
+            b.emit(sc.Li(remaining, n))
+            for base, addr in zip(bases, ins):
+                b.emit(sc.Li(base, addr))
+            b.emit(sc.Li(out_base, out))
+            b.label(tag)
+            b.emit(rvv.VSetVli(vl, remaining, etype=F32))
+            for reg, base in zip([u(1), u(2)], bases):
+                b.emit(rvv.VlLoad(reg, base, etype=F32))
+            store_reg = body()
+            b.emit(
+                rvv.VlStore(store_reg, out_base, etype=F32),
+                sc.IntOp("sub", remaining, remaining, vl),
+                sc.IntOp("sll", step, vl, 2),
+            )
+            for base in bases + [out_base]:
+                b.emit(sc.IntOp("add", base, base, step))
+            b.emit(sc.BranchCmp("ne", remaining, 0, tag))
+
+        kernel("copy", [a], c, lambda: u(1))
+        kernel(
+            "scale", [c], bb,
+            lambda: b.emit(rvv.VOpVF("mul", u(2), u(1), f(0), etype=F32)) or u(2),
+        )
+        kernel(
+            "add", [a, bb], c,
+            lambda: b.emit(rvv.VOpVV("add", u(3), u(1), u(2), etype=F32)) or u(3),
+        )
+        kernel(
+            "triad", [bb, c], a,
+            lambda: b.emit(rvv.VMaccVF(u(1), f(0), u(2), etype=F32)) or u(1),
+        )
+        b.emit(sc.Halt())
+        return b.build()

@@ -1,0 +1,72 @@
+"""Benchmark E: 3mm — three chained matrix multiplications (PolyBench):
+``E = A·B``, ``F = C·D``, ``G = E·F``.
+
+Exercises repeated stream reconfiguration: each product reprograms the
+same stream registers (u0-u5) once its predecessor has fully drained.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import ProgramBuilder
+from repro.isa import scalar_ops as sc
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.kernels.gemm import emit_neon_gemm, emit_sve_gemm, emit_uve_gemm
+
+
+class ThreeMmKernel(Kernel):
+    name = "3mm"
+    letter = "E"
+    domain = "algebra"
+    n_streams = 9
+    max_nesting = 3
+    n_kernels = 3
+    pattern = "4D"
+
+    default_n = 32
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=16, multiple=16)
+        rng = np.random.default_rng(seed)
+        mats = {
+            name: rng.standard_normal((n, n)).astype(np.float32)
+            for name in ("a", "b", "c", "d")
+        }
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        for name, mat in mats.items():
+            wl.place(name, mat)
+        for name in ("e", "f", "g"):
+            wl.place(name, np.zeros((n, n), dtype=np.float32))
+        a64 = {k: v.astype(np.float64) for k, v in mats.items()}
+        e = a64["a"] @ a64["b"]
+        fm = a64["c"] @ a64["d"]
+        g = e @ fm
+        wl.expected["e"] = e.astype(np.float32)
+        wl.expected["f"] = fm.astype(np.float32)
+        wl.expected["g"] = g.astype(np.float32)
+        return wl
+
+    def _sections(self, wl: Workload):
+        return [
+            ("e", wl.addr("a"), wl.addr("b"), wl.addr("e")),
+            ("f", wl.addr("c"), wl.addr("d"), wl.addr("f")),
+            ("g", wl.addr("e"), wl.addr("f"), wl.addr("g")),
+        ]
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder("3mm-uve")
+        for tag, a, bm, out in self._sections(wl):
+            emit_uve_gemm(b, tag, a, bm, out, n, n, n, lanes, beta_one=False)
+        b.emit(sc.Halt())
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder(f"3mm-{isa}")
+        emit = emit_sve_gemm if isa == "sve" else emit_neon_gemm
+        for tag, a, bm, out in self._sections(wl):
+            emit(b, tag, a, bm, out, n, n, n, beta_one=False)
+        b.emit(sc.Halt())
+        return b.build()

@@ -1,0 +1,197 @@
+"""Benchmark H: trisolv — forward substitution ``L·x = b`` (PolyBench).
+
+Row-oriented formulation: ``x[i] = (b[i] - dot(L[i][:i], x[:i])) /
+L[i][i]``.  The UVE build encodes both triangular operands (the L rows
+below the diagonal and the growing prefix of x) as single 2-D streams
+with *static size modifiers* (the paper's Fig. 3.B4 mechanism): the row
+length grows by one per outer iteration.  Re-reading just-solved x
+elements exercises the streaming memory model's in-place support
+(§III-A3 / §IV-A core-side coherence).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, p, u, x
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import uve_ops as uve
+from repro.isa.program import Program
+from repro.kernels.base import Kernel, Workload, scaled
+from repro.streams.descriptor import Param, StaticBehavior
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+
+
+class TrisolvKernel(Kernel):
+    name = "trisolv"
+    letter = "H"
+    domain = "algebra"
+    n_streams = 2
+    max_nesting = 2
+    n_kernels = 1
+    pattern = "2D+static-modifier"
+
+    default_n = 96
+
+    def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
+        n = scaled(self.default_n, scale, minimum=8)
+        rng = np.random.default_rng(seed)
+        l_mat = rng.standard_normal((n, n)).astype(np.float32)
+        # Well-conditioned lower-triangular system.
+        l_mat = np.tril(l_mat)
+        np.fill_diagonal(l_mat, np.abs(np.diagonal(l_mat)) + n)
+        bvec = rng.standard_normal(n).astype(np.float32)
+        wl = Workload(memory=self.fresh_memory(), params={"n": n})
+        wl.place("l", l_mat)
+        wl.place("x", bvec.copy())  # x starts as b; solved in place
+        expected = np.linalg.solve(
+            l_mat.astype(np.float64), bvec.astype(np.float64)
+        )
+        wl.expected["x"] = expected.astype(np.float32)
+        return wl
+
+    def build_uve(self, wl: Workload, lanes: int) -> Program:
+        """Row-oriented forward substitution: for each row *i*,
+        ``x[i] = (b[i] - dot(L[i][:i], x[:i])) / L[i][i]``.
+
+        Both the L rows and the re-read prefix of x are lower-triangular
+        streams with static ADD size modifiers (Fig. 3.B4), keeping
+        dimension 0 contiguous.  Reading back just-solved x elements is
+        the in-place streaming case of §IV-A (core-side coherence)."""
+        n = wl.params["n"]
+        le, xe = wl.addr("l") // 4, wl.addr("x") // 4
+        b = ProgramBuilder("trisolv-uve")
+        # L rows below the diagonal: row i (from 1) holds i elements.
+        b.emit(
+            uve.SsSta(u(0), Direction.LOAD, le + n, 0, 1, etype=F32),
+            uve.SsApp(u(0), 0, n - 1, n),
+            uve.SsAppMod(u(0), Param.SIZE, StaticBehavior.ADD, 1, n - 1, last=True),
+            # x prefix: row i re-reads x[0..i) (row stride 0).
+            uve.SsSta(u(1), Direction.LOAD, xe, 0, 1, etype=F32),
+            uve.SsApp(u(1), 0, n - 1, 0),
+            uve.SsAppMod(u(1), Param.SIZE, StaticBehavior.ADD, 1, n - 1, last=True),
+        )
+        xl, xd = x(8), x(9)
+        b.emit(
+            sc.Li(xl, wl.addr("l")), sc.Li(xd, wl.addr("x")),
+            # x[0] = b[0] / L[0][0]
+            sc.Load(f(1), xd, 0, etype=F32),
+            sc.Load(f(2), xl, 0, etype=F32),
+            sc.FOp("div", f(1), f(1), f(2)),
+            sc.Store(f(1), xd, 0, etype=F32),
+        )
+        b.label("row")
+        b.emit(
+            sc.IntOp("add", xl, xl, 4 * (n + 1)),
+            sc.IntOp("add", xd, xd, 4),
+            uve.SoDup(u(5), 0.0, etype=F32),
+        )
+        b.label("chunk")
+        b.emit(
+            uve.SoMac(u(5), u(0), u(1), etype=F32),
+            uve.SoBranchDim(u(0), 0, "chunk", complete=False),
+            uve.SoRedScalar("add", f(3), u(5), etype=F32),
+            sc.Load(f(1), xd, 0, etype=F32),
+            sc.FOp("sub", f(1), f(1), f(3)),
+            sc.Load(f(2), xl, 0, etype=F32),
+            sc.FOp("div", f(1), f(1), f(2)),
+            sc.Store(f(1), xd, 0, etype=F32),
+            uve.SoBranchEnd(u(0), "row", negate=True),
+            sc.Halt(),
+        )
+        return b.build()
+
+    def build_vector(self, wl: Workload, isa: str) -> Program:
+        if isa == "sve":
+            return self._build_sve(wl)
+        return self._build_scalar(wl, "trisolv-neon")
+
+    def _build_sve(self, wl: Workload) -> Program:
+        """Row-oriented: predicated dot of L[i][:i] with x[:i] per row."""
+        n = wl.params["n"]
+        b = ProgramBuilder("trisolv-sve")
+        xl, xd, xi = x(8), x(9), x(10)
+        xrow, xxv, xoff = x(11), x(12), x(13)
+        b.emit(
+            sc.Li(xl, wl.addr("l")), sc.Li(xd, wl.addr("x")),
+            sc.Li(xi, 0), sc.Li(xrow, wl.addr("l")),
+            # x[0] = b[0] / L[0][0]
+            sc.Load(f(1), xd, 0, etype=F32),
+            sc.Load(f(2), xl, 0, etype=F32),
+            sc.FOp("div", f(1), f(1), f(2)),
+            sc.Store(f(1), xd, 0, etype=F32),
+            sc.Li(xi, 1),
+        )
+        b.label("row")
+        b.emit(
+            sc.IntOp("add", xrow, xrow, 4 * n),
+            sc.IntOp("add", xl, xl, 4 * (n + 1)),
+            sc.IntOp("add", xd, xd, 4),
+            sve.Dup(u(1), 0.0, etype=F32),
+            sc.Li(xxv, wl.addr("x")),
+            sc.Li(xoff, 0),
+            sve.WhileLt(p(1), xoff, xi, etype=F32),
+        )
+        b.label("blk")
+        b.emit(
+            sve.Ld1(u(2), p(1), xrow, index=xoff, etype=F32),
+            sve.Ld1(u(3), p(1), xxv, index=xoff, etype=F32),
+            sve.Fmla(u(1), p(1), u(2), u(3), etype=F32),
+            sve.IncElems(xoff, etype=F32),
+            sve.WhileLt(p(1), xoff, xi, etype=F32),
+            sve.BranchPred("first", p(1), "blk", etype=F32),
+        )
+        b.emit(
+            sve.Red("add", f(3), p(0), u(1), etype=F32),
+            sc.Load(f(1), xd, 0, etype=F32),
+            sc.FOp("sub", f(1), f(1), f(3)),
+            sc.Load(f(2), xl, 0, etype=F32),
+            sc.FOp("div", f(1), f(1), f(2)),
+            sc.Store(f(1), xd, 0, etype=F32),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, n, "row"),
+            sc.Halt(),
+        )
+        return b.build()
+
+    def _build_scalar(self, wl: Workload, name: str) -> Program:
+        n = wl.params["n"]
+        b = ProgramBuilder(name)
+        xl, xd, xj = x(8), x(9), x(10)
+        xcol, xxi, xi = x(11), x(12), x(13)
+        b.emit(sc.Li(xl, wl.addr("l")), sc.Li(xd, wl.addr("x")), sc.Li(xj, 0))
+        b.label("col")
+        b.emit(
+            sc.Load(f(1), xd, 0, etype=F32),
+            sc.Load(f(2), xl, 0, etype=F32),
+            sc.FOp("div", f(1), f(1), f(2)),
+            sc.Store(f(1), xd, 0, etype=F32),
+            sc.IntOp("add", xcol, xl, 4 * n),
+            sc.IntOp("add", xxi, xd, 4),
+            sc.IntOp("add", xi, xj, 1),
+            sc.BranchCmp("ge", xi, n, "next"),
+        )
+        b.label("row")
+        b.emit(
+            sc.Load(f(2), xcol, 0, etype=F32),
+            sc.Load(f(3), xxi, 0, etype=F32),
+            sc.FOp("mul", f(2), f(2), f(1)),
+            sc.FOp("sub", f(3), f(3), f(2)),
+            sc.Store(f(3), xxi, 0, etype=F32),
+            sc.IntOp("add", xcol, xcol, 4 * n),
+            sc.IntOp("add", xxi, xxi, 4),
+            sc.IntOp("add", xi, xi, 1),
+            sc.BranchCmp("lt", xi, n, "row"),
+        )
+        b.label("next")
+        b.emit(
+            sc.IntOp("add", xl, xl, 4 * (n + 1)),
+            sc.IntOp("add", xd, xd, 4),
+            sc.IntOp("add", xj, xj, 1),
+            sc.BranchCmp("lt", xj, n, "col"),
+            sc.Halt(),
+        )
+        return b.build()

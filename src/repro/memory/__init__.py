@@ -1,0 +1,4 @@
+"""Memory substrates: backing store, caches, prefetchers, TLB, DRAM."""
+from repro.memory.backing import Memory
+
+__all__ = ["Memory"]

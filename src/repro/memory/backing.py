@@ -1,0 +1,110 @@
+"""Flat byte-addressable backing memory with a bump allocator.
+
+This is the *functional* memory shared by all simulators; timing is
+modelled separately by :mod:`repro.memory.hierarchy`.  Arrays are placed
+with :meth:`Memory.alloc_array` and can be viewed back zero-copy with
+:meth:`Memory.ndarray` for result verification.
+"""
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.types import CACHE_LINE_BYTES, ElementType
+from repro.errors import MemoryAccessError
+
+
+class Memory:
+    """A contiguous simulated physical memory."""
+
+    def __init__(self, size: int = 64 * 1024 * 1024) -> None:
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+        self._brk = CACHE_LINE_BYTES  # keep address 0 unused
+        self._views = {}  # per-dtype full-memory views (aligned fast path)
+
+    def _view(self, etype: ElementType) -> np.ndarray:
+        view = self._views.get(etype)
+        if view is None:
+            usable = self.size - self.size % etype.width
+            view = self.data[:usable].view(etype.dtype)
+            self._views[etype] = view
+        return view
+
+    # -- Typed scalar access ------------------------------------------------
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > self.size:
+            raise MemoryAccessError(
+                f"access [{addr}, {addr + nbytes}) outside memory of size "
+                f"{self.size}"
+            )
+
+    def read_scalar(self, addr: int, etype: ElementType):
+        """Read one element; returns a Python int or float."""
+        w = etype.width
+        if addr % w == 0:  # aligned fast path through a typed view
+            if addr < 0 or addr + w > self.size:
+                self._check(addr, w)
+            value = self._view(etype)[addr // w]
+        else:
+            self._check(addr, w)
+            value = self.data[addr : addr + w].copy().view(etype.dtype)[0]
+        return float(value) if etype.is_float else int(value)
+
+    def write_scalar(self, addr: int, value, etype: ElementType) -> None:
+        w = etype.width
+        if addr % w == 0:
+            if addr < 0 or addr + w > self.size:
+                self._check(addr, w)
+            self._view(etype)[addr // w] = value
+            return
+        self._check(addr, w)
+        self.data[addr : addr + w] = np.asarray([value], dtype=etype.dtype).view(
+            np.uint8
+        )
+
+    # -- Block access ---------------------------------------------------------
+
+    def read_block(self, addr: int, count: int, etype: ElementType) -> np.ndarray:
+        """Read ``count`` contiguous elements as a typed array (copy)."""
+        w = etype.width
+        nbytes = count * w
+        self._check(addr, nbytes)
+        if addr % w == 0:
+            base = addr // w
+            return self._view(etype)[base : base + count].copy()
+        return self.data[addr : addr + nbytes].copy().view(etype.dtype)
+
+    def write_block(self, addr: int, values: np.ndarray) -> None:
+        nbytes = values.nbytes
+        self._check(addr, nbytes)
+        flat = np.ascontiguousarray(values).reshape(-1)
+        self.data[addr : addr + nbytes] = flat.view(np.uint8)
+
+    # -- Allocation -------------------------------------------------------------
+
+    def alloc(self, nbytes: int, align: int = CACHE_LINE_BYTES) -> int:
+        """Reserve ``nbytes`` and return the base address."""
+        addr = (self._brk + align - 1) // align * align
+        if addr + nbytes > self.size:
+            raise MemoryAccessError(
+                f"out of simulated memory allocating {nbytes} bytes"
+            )
+        self._brk = addr + nbytes
+        return addr
+
+    def alloc_array(self, values: np.ndarray, align: int = CACHE_LINE_BYTES) -> int:
+        """Copy ``values`` into memory and return the base address."""
+        flat = np.ascontiguousarray(values)
+        addr = self.alloc(flat.nbytes, align)
+        self.write_block(addr, flat)
+        return addr
+
+    def ndarray(self, addr: int, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Zero-copy typed view of memory at ``addr`` (for verification)."""
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        self._check(addr, nbytes)
+        return self.data[addr : addr + nbytes].view(dtype).reshape(shape)

@@ -1,0 +1,90 @@
+"""MOESI cache-coherence state machine (Table I: snoop-based MOESI).
+
+The evaluation runs a single core, so coherence traffic is minimal, but
+the protocol is implemented in full so that cache line states (and the
+stream/conventional interaction of §IV-A *Memory Coherence*) follow the
+real transition rules.  The hierarchy uses it for line-state bookkeeping;
+the unit tests exercise every legal transition.
+"""
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ReproError
+
+
+class CoherenceError(ReproError):
+    """Illegal coherence transition."""
+
+
+class LineState(enum.Enum):
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def valid(self) -> bool:
+        return self is not LineState.INVALID
+
+    @property
+    def dirty(self) -> bool:
+        return self in (LineState.MODIFIED, LineState.OWNED)
+
+    @property
+    def writable(self) -> bool:
+        return self in (LineState.MODIFIED, LineState.EXCLUSIVE)
+
+
+class Event(enum.Enum):
+    """Local processor and snooped bus events."""
+
+    LOAD = "load"  # local read
+    STORE = "store"  # local write
+    EVICT = "evict"  # local replacement
+    BUS_READ = "bus_read"  # another agent reads
+    BUS_RDX = "bus_rdx"  # another agent reads-for-ownership
+    BUS_UPGRADE = "bus_upgrade"  # another agent upgrades S->M
+
+
+# (state, event) -> (next state, supplies data?, writes back?)
+_TRANSITIONS = {
+    (LineState.INVALID, Event.LOAD): (LineState.EXCLUSIVE, False, False),
+    (LineState.INVALID, Event.STORE): (LineState.MODIFIED, False, False),
+    (LineState.EXCLUSIVE, Event.LOAD): (LineState.EXCLUSIVE, False, False),
+    (LineState.EXCLUSIVE, Event.STORE): (LineState.MODIFIED, False, False),
+    (LineState.EXCLUSIVE, Event.EVICT): (LineState.INVALID, False, False),
+    (LineState.EXCLUSIVE, Event.BUS_READ): (LineState.SHARED, True, False),
+    (LineState.EXCLUSIVE, Event.BUS_RDX): (LineState.INVALID, True, False),
+    (LineState.MODIFIED, Event.LOAD): (LineState.MODIFIED, False, False),
+    (LineState.MODIFIED, Event.STORE): (LineState.MODIFIED, False, False),
+    (LineState.MODIFIED, Event.EVICT): (LineState.INVALID, False, True),
+    (LineState.MODIFIED, Event.BUS_READ): (LineState.OWNED, True, False),
+    (LineState.MODIFIED, Event.BUS_RDX): (LineState.INVALID, True, False),
+    (LineState.OWNED, Event.LOAD): (LineState.OWNED, False, False),
+    (LineState.OWNED, Event.STORE): (LineState.MODIFIED, False, False),
+    (LineState.OWNED, Event.EVICT): (LineState.INVALID, False, True),
+    (LineState.OWNED, Event.BUS_READ): (LineState.OWNED, True, False),
+    (LineState.OWNED, Event.BUS_RDX): (LineState.INVALID, True, False),
+    (LineState.SHARED, Event.LOAD): (LineState.SHARED, False, False),
+    (LineState.SHARED, Event.STORE): (LineState.MODIFIED, False, False),
+    (LineState.SHARED, Event.EVICT): (LineState.INVALID, False, False),
+    (LineState.SHARED, Event.BUS_READ): (LineState.SHARED, False, False),
+    (LineState.SHARED, Event.BUS_RDX): (LineState.INVALID, False, False),
+    (LineState.SHARED, Event.BUS_UPGRADE): (LineState.INVALID, False, False),
+    (LineState.INVALID, Event.EVICT): (LineState.INVALID, False, False),
+    (LineState.INVALID, Event.BUS_READ): (LineState.INVALID, False, False),
+    (LineState.INVALID, Event.BUS_RDX): (LineState.INVALID, False, False),
+    (LineState.INVALID, Event.BUS_UPGRADE): (LineState.INVALID, False, False),
+}
+
+
+def next_state(state: LineState, event: Event):
+    """Apply ``event``; returns ``(next_state, supplies_data, writeback)``."""
+    try:
+        return _TRANSITIONS[(state, event)]
+    except KeyError:
+        raise CoherenceError(
+            f"illegal transition: {state.value} on {event.value}"
+        ) from None

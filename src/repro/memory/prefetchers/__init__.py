@@ -1,0 +1,5 @@
+"""Hardware prefetchers of the baseline core (Table I)."""
+from repro.memory.prefetchers.ampm import AmpmPrefetcher
+from repro.memory.prefetchers.stride import StridePrefetcher
+
+__all__ = ["AmpmPrefetcher", "StridePrefetcher"]

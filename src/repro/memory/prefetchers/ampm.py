@@ -1,0 +1,76 @@
+"""Access Map Pattern Matching prefetcher (Ishii et al., ICS'09) —
+Table I: attached to the L2, queue size 32.
+
+Memory is divided into zones; each zone keeps a bitmap of the cache lines
+accessed in it.  On each access the prefetcher tests candidate strides
+*s*: if lines ``-s`` and ``-2s`` relative to the current one were already
+accessed, the pattern matches and line ``+s`` (up to a small degree per
+stride) is prefetched.  Outstanding prefetches are bounded by the queue
+size.
+"""
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+#: Candidate strides tested on each access (forward and backward).
+_CANDIDATE_STRIDES = tuple(range(1, 9)) + tuple(range(-1, -9, -1))
+
+
+class AmpmPrefetcher:
+    """Zone-bitmap pattern-matching prefetcher."""
+
+    def __init__(
+        self,
+        zones: int = 64,
+        zone_bytes: int = 4096,
+        queue_size: int = 32,
+        degree: int = 2,
+        line_bytes: int = 64,
+    ) -> None:
+        self.zone_bytes = zone_bytes
+        self.lines_per_zone = zone_bytes // line_bytes
+        self.line_bytes = line_bytes
+        self.queue_size = queue_size
+        self.degree = degree
+        self._zones: "OrderedDict[int, int]" = OrderedDict()  # zone -> bitmap
+        self._max_zones = zones
+        self.issued = 0
+
+    def _bitmap(self, zone: int) -> int:
+        if zone in self._zones:
+            self._zones.move_to_end(zone)
+            return self._zones[zone]
+        self._zones[zone] = 0
+        if len(self._zones) > self._max_zones:
+            self._zones.popitem(last=False)
+        return 0
+
+    def observe(self, pc: int, addr: int) -> List[int]:
+        """Record a demand access; return line addresses to prefetch."""
+        line = addr // self.line_bytes
+        zone = line // self.lines_per_zone
+        offset = line % self.lines_per_zone
+        bitmap = self._bitmap(zone)
+        self._zones[zone] = bitmap | (1 << offset)
+
+        def accessed(index: int) -> bool:
+            if 0 <= index < self.lines_per_zone:
+                return bool(bitmap & (1 << index))
+            return False
+
+        out: List[int] = []
+        for stride in _CANDIDATE_STRIDES:
+            if accessed(offset - stride) and accessed(offset - 2 * stride):
+                for k in range(1, self.degree + 1):
+                    target = offset + k * stride
+                    if 0 <= target < self.lines_per_zone:
+                        candidate = zone * self.lines_per_zone + target
+                        if candidate not in out:
+                            out.append(candidate)
+                    if len(out) >= self.degree:
+                        break
+            if len(out) >= self.degree:
+                break
+        self.issued += len(out)
+        return out

@@ -1,0 +1,58 @@
+"""TLB model with page-fault machinery.
+
+Streams perform their own translation through the Streaming Engine's
+arbiter (paper §IV-B), which lets them prefetch safely across page
+boundaries (feature A2); page faults flag the vector element and are
+handled at commit (§IV-A *Exception Handling*).
+"""
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.common.types import PAGE_BYTES
+from repro.errors import PageFaultError
+
+
+class Tlb:
+    """Fully-associative LRU TLB with a fixed page-walk penalty."""
+
+    def __init__(
+        self,
+        entries: int = 64,
+        walk_latency: int = 20,
+        page_bytes: int = PAGE_BYTES,
+        is_mapped: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        self.entries = entries
+        self.walk_latency = walk_latency
+        self.page_bytes = page_bytes
+        #: predicate deciding whether a page is mapped (default: all pages)
+        self.is_mapped = is_mapped or (lambda page: True)
+        self._cached: "OrderedDict[int, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.faults = 0
+
+    def translate(self, addr: int) -> int:
+        """Translation latency in cycles; raises on an unmapped page."""
+        page = addr // self.page_bytes
+        if page in self._cached:
+            self._cached.move_to_end(page)
+            self.hits += 1
+            return 0
+        self.misses += 1
+        if not self.is_mapped(page):
+            self.faults += 1
+            raise PageFaultError(f"page fault at address {addr:#x}")
+        self._cached[page] = True
+        if len(self._cached) > self.entries:
+            self._cached.popitem(last=False)
+        return self.walk_latency
+
+    def probe(self, addr: int) -> bool:
+        """True if the page is mapped (no state change, no fault)."""
+        return self.is_mapped(addr // self.page_bytes)
+
+    def flush(self) -> None:
+        self._cached.clear()

@@ -1,0 +1,11 @@
+"""Simulation layer: functional ISS, trace structures, combined simulator."""
+from repro.sim.functional import FunctionalSimulator, MachineState
+from repro.sim.trace import DynOp, StreamTraceInfo, TraceSummary
+
+__all__ = [
+    "DynOp",
+    "FunctionalSimulator",
+    "MachineState",
+    "StreamTraceInfo",
+    "TraceSummary",
+]

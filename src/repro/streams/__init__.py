@@ -1,0 +1,68 @@
+"""Stream descriptor model (paper §II).
+
+Public surface: descriptor/modifier dataclasses, the pattern container,
+the functional iterator and vector chunker, and builder helpers for the
+pattern families of Fig. 3.
+"""
+from repro.streams.compiler import (
+    AffineAccess,
+    LoopNest,
+    TriangularBound,
+    compile_access,
+    compile_nest,
+    config_instructions,
+)
+from repro.streams.builders import (
+    indirect,
+    linear,
+    lower_triangular,
+    rectangular,
+    repeated,
+)
+from repro.streams.descriptor import (
+    Descriptor,
+    IndirectBehavior,
+    IndirectModifier,
+    Param,
+    StaticBehavior,
+    StaticModifier,
+)
+from repro.streams.iterator import (
+    StreamChunk,
+    StreamElement,
+    StreamIterator,
+    VectorChunker,
+)
+from repro.streams.limits import MAX_DIMENSIONS, MAX_MODIFIERS, MAX_STREAMS
+from repro.streams.pattern import Direction, Level, MemLevel, StreamPattern
+
+__all__ = [
+    "AffineAccess",
+    "Descriptor",
+    "Direction",
+    "IndirectBehavior",
+    "IndirectModifier",
+    "Level",
+    "MAX_DIMENSIONS",
+    "MAX_MODIFIERS",
+    "MAX_STREAMS",
+    "MemLevel",
+    "Param",
+    "StaticBehavior",
+    "StaticModifier",
+    "StreamChunk",
+    "StreamElement",
+    "StreamIterator",
+    "StreamPattern",
+    "TriangularBound",
+    "LoopNest",
+    "VectorChunker",
+    "compile_access",
+    "compile_nest",
+    "config_instructions",
+    "indirect",
+    "linear",
+    "lower_triangular",
+    "rectangular",
+    "repeated",
+]

@@ -1,0 +1,146 @@
+"""Convenience constructors for common access patterns (paper Fig. 3.B).
+
+These helpers build :class:`~repro.streams.pattern.StreamPattern` objects
+for the pattern families used throughout the paper: linear, rectangular,
+scattered, lower-triangular (static modifier) and indirect accesses.  All
+offsets/strides are in elements; ``base`` is the element index of the
+array's first element (byte address / element width).
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.types import ElementType
+from repro.streams.descriptor import (
+    Descriptor,
+    IndirectBehavior,
+    IndirectModifier,
+    Param,
+    StaticBehavior,
+    StaticModifier,
+)
+from repro.streams.pattern import Direction, Level, MemLevel, StreamPattern
+
+
+def linear(
+    base: int,
+    size: int,
+    stride: int = 1,
+    *,
+    etype: ElementType = ElementType.F32,
+    direction: Direction = Direction.LOAD,
+    mem_level: MemLevel = MemLevel.L2,
+) -> StreamPattern:
+    """1-D pattern ``A[base + i*stride]`` for ``i in [0, size)`` (Fig. 3.B1)."""
+    return StreamPattern(
+        levels=[Level(Descriptor(base, size, stride))],
+        etype=etype,
+        direction=direction,
+        mem_level=mem_level,
+    )
+
+
+def rectangular(
+    base: int,
+    rows: int,
+    cols: int,
+    row_stride: Optional[int] = None,
+    col_stride: int = 1,
+    *,
+    etype: ElementType = ElementType.F32,
+    direction: Direction = Direction.LOAD,
+    mem_level: MemLevel = MemLevel.L2,
+) -> StreamPattern:
+    """Row-major 2-D scan of a ``rows x cols`` block (Fig. 3.B2/B3).
+
+    ``row_stride`` defaults to ``cols`` (a dense matrix); pass a larger
+    value to scan a sub-block, or scale both strides for scattered scans.
+    """
+    if row_stride is None:
+        row_stride = cols
+    return StreamPattern(
+        levels=[
+            Level(Descriptor(base, cols, col_stride)),
+            Level(Descriptor(0, rows, row_stride)),
+        ],
+        etype=etype,
+        direction=direction,
+        mem_level=mem_level,
+    )
+
+
+def repeated(
+    pattern: StreamPattern,
+    times: int,
+) -> StreamPattern:
+    """Wrap ``pattern`` in an outer zero-stride dimension repeating it."""
+    levels = list(pattern.levels) + [Level(Descriptor(0, times, 0))]
+    return StreamPattern(
+        levels=levels,
+        etype=pattern.etype,
+        direction=pattern.direction,
+        mem_level=pattern.mem_level,
+    )
+
+
+def lower_triangular(
+    base: int,
+    rows: int,
+    row_stride: int,
+    *,
+    first_row_size: int = 1,
+    growth: int = 1,
+    etype: ElementType = ElementType.F32,
+    direction: Direction = Direction.LOAD,
+    mem_level: MemLevel = MemLevel.L2,
+) -> StreamPattern:
+    """Lower-triangular scan: row *i* covers ``first_row_size + i*growth``
+    elements (Fig. 3.B4).
+
+    Encoded exactly as in the paper: dimension 0 starts with size
+    ``first_row_size - growth`` and a static modifier bound to dimension 1
+    adds ``growth`` at the start of every row.
+    """
+    return StreamPattern(
+        levels=[
+            Level(Descriptor(base, first_row_size - growth, 1)),
+            Level(
+                Descriptor(0, rows, row_stride),
+                [StaticModifier(Param.SIZE, StaticBehavior.ADD, growth, rows)],
+            ),
+        ],
+        etype=etype,
+        direction=direction,
+        mem_level=mem_level,
+    )
+
+
+def indirect(
+    base: int,
+    index_pattern: StreamPattern,
+    *,
+    inner_size: int = 1,
+    inner_stride: int = 1,
+    etype: ElementType = ElementType.F32,
+    direction: Direction = Direction.LOAD,
+    mem_level: MemLevel = MemLevel.L2,
+) -> StreamPattern:
+    """Indirect pattern ``A[base + idx]`` for each ``idx`` produced by
+    ``index_pattern`` (Fig. 3.B5).
+
+    Each origin value opens a run of ``inner_size`` elements starting at
+    ``base + idx`` with ``inner_stride`` spacing (``inner_size=1`` gives
+    plain gather/scatter).
+    """
+    return StreamPattern(
+        levels=[
+            Level(Descriptor(base, inner_size, inner_stride)),
+            Level(
+                None,
+                [IndirectModifier(Param.OFFSET, IndirectBehavior.SET_ADD, index_pattern)],
+            ),
+        ],
+        etype=etype,
+        direction=direction,
+        mem_level=mem_level,
+    )

@@ -1,0 +1,221 @@
+"""A miniature stream compiler: affine loop nests → stream descriptors.
+
+The paper leaves the compiler toolchain to future work but spells out
+what it must do (§III-A2): *identify linear combinations of loop
+induction variables used to calculate the address sequence of streamable
+memory accesses* and configure streams from them.  This module
+implements that analysis for affine accesses:
+
+>>> nest = LoopNest(["i", "j"], bounds={"i": 64, "j": 32})
+>>> access = AffineAccess("A", base=0, terms={"i": 32, "j": 1})
+>>> pattern = compile_access(nest, access)
+
+produces the 2-D row-major pattern ``D0 {A, 32, 1}; D1 {0, 64, 32}``,
+and :func:`config_instructions` lowers a pattern to the corresponding
+``ss.*`` configuration sequence.  Loop variables absent from an access
+become zero-stride (re-read) dimensions; triangular bounds (an inner
+bound that is an affine function of an outer variable) become static
+size modifiers, exactly as in Fig. 3.B4.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.common.types import ElementType
+from repro.errors import DescriptorError
+from repro.isa import uve_ops as uve
+from repro.isa.instructions import Instruction
+from repro.isa.registers import Reg
+from repro.streams.descriptor import (
+    Descriptor,
+    Param,
+    StaticBehavior,
+    StaticModifier,
+)
+from repro.streams.pattern import Direction, Level, MemLevel, StreamPattern
+
+
+@dataclass(frozen=True)
+class TriangularBound:
+    """An inner-loop bound of the form ``coeff*outer + constant``
+    (e.g. ``for j in range(i + 1)`` is ``TriangularBound("i", 1, 1)``)."""
+
+    outer: str
+    coeff: int = 1
+    constant: int = 0
+
+
+Bound = Union[int, TriangularBound]
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """An ordered loop nest; ``variables[0]`` is the outermost loop."""
+
+    variables: Sequence[str]
+    bounds: Dict[str, Bound]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+        missing = [v for v in self.variables if v not in self.bounds]
+        if missing:
+            raise DescriptorError(f"loops without bounds: {missing}")
+        for variable, bound in self.bounds.items():
+            if isinstance(bound, TriangularBound):
+                if bound.outer not in self.variables:
+                    raise DescriptorError(
+                        f"bound of {variable!r} references unknown loop "
+                        f"{bound.outer!r}"
+                    )
+                if self.variables.index(bound.outer) >= self.variables.index(
+                    variable
+                ):
+                    raise DescriptorError(
+                        f"bound of {variable!r} must reference an *outer* "
+                        f"loop, not {bound.outer!r}"
+                    )
+
+    def trip_count(self, variable: str) -> int:
+        """Worst-case trip count (triangular bounds at their maximum)."""
+        bound = self.bounds[variable]
+        if isinstance(bound, TriangularBound):
+            outer_max = self.trip_count(bound.outer) - 1
+            return max(bound.coeff * outer_max + bound.constant, 0)
+        return int(bound)
+
+
+@dataclass(frozen=True)
+class AffineAccess:
+    """One array access ``name[sum(terms[v] * v) + offset]``."""
+
+    name: str
+    base: int
+    terms: Dict[str, int] = field(default_factory=dict)
+    offset: int = 0
+    etype: ElementType = ElementType.F32
+    direction: Direction = Direction.LOAD
+    mem_level: MemLevel = MemLevel.L2
+
+
+def compile_access(nest: LoopNest, access: AffineAccess) -> StreamPattern:
+    """Derive the stream pattern of an affine access under a loop nest.
+
+    One dimension is produced per loop, innermost first; loops the
+    access does not index become zero-stride dimensions (they re-read
+    the inner pattern — dropping them would change how many times each
+    element is delivered).  A triangular inner bound becomes a static
+    SIZE modifier on the dimension of the referenced outer loop.
+    """
+    unknown = [v for v in access.terms if v not in nest.variables]
+    if unknown:
+        raise DescriptorError(
+            f"access {access.name!r} indexes unknown loops: {unknown}"
+        )
+
+    inner_to_outer = list(reversed(list(nest.variables)))
+    descriptors: List[Descriptor] = []
+    #: (target dimension index, outer variable, bound)
+    triangular: List[Tuple[int, TriangularBound]] = []
+
+    for index, variable in enumerate(inner_to_outer):
+        stride = access.terms.get(variable, 0)
+        bound = nest.bounds[variable]
+        offset = access.base + access.offset if index == 0 else 0
+        if isinstance(bound, TriangularBound):
+            initial = bound.constant - bound.coeff
+            if initial < 0:
+                raise DescriptorError(
+                    f"triangular bound of {variable!r} starts below zero "
+                    f"(constant {bound.constant} < step {bound.coeff})"
+                )
+            descriptors.append(Descriptor(offset, initial, stride))
+            triangular.append((index, bound))
+        else:
+            descriptors.append(Descriptor(offset, int(bound), stride))
+
+    modifiers: Dict[int, List[StaticModifier]] = {}
+    for dim_index, bound in triangular:
+        outer_index = inner_to_outer.index(bound.outer)
+        if outer_index != dim_index + 1:
+            raise DescriptorError(
+                "a triangular bound must reference the immediately "
+                "enclosing loop (descriptor modifiers bind one level up)"
+            )
+        count = nest.trip_count(bound.outer)
+        modifiers.setdefault(outer_index, []).append(
+            StaticModifier(
+                Param.SIZE,
+                StaticBehavior.ADD if bound.coeff > 0 else StaticBehavior.SUB,
+                abs(bound.coeff),
+                count,
+            )
+        )
+
+    levels = [
+        Level(descriptor, modifiers.get(index, []))
+        for index, descriptor in enumerate(descriptors)
+    ]
+    return StreamPattern(
+        levels=levels,
+        etype=access.etype,
+        direction=access.direction,
+        mem_level=access.mem_level,
+    )
+
+
+def compile_nest(
+    nest: LoopNest, accesses: Sequence[AffineAccess]
+) -> Dict[str, StreamPattern]:
+    """Compile every access of a loop nest; returns name -> pattern."""
+    return {a.name: compile_access(nest, a) for a in accesses}
+
+
+def config_instructions(
+    register: Reg, pattern: StreamPattern
+) -> List[Instruction]:
+    """Lower a compiled pattern to its ``ss.*`` configuration sequence
+    (the instructions a UVE compiler would emit at the loop preamble)."""
+    levels = list(pattern.levels)
+    if any(level.descriptor is None for level in levels):
+        raise DescriptorError(
+            "indirect patterns need their origin stream configured "
+            "separately; lower them by hand"
+        )
+    if len(levels) == 1 and not levels[0].modifiers:
+        d = levels[0].descriptor
+        return [
+            uve.SsConfig1D(
+                register, pattern.direction, d.offset, d.size, d.stride,
+                etype=pattern.etype, mem_level=pattern.mem_level,
+            )
+        ]
+
+    out: List[Instruction] = []
+    total = len(levels)
+    for index, level in enumerate(levels):
+        d = level.descriptor
+        mods = list(level.modifiers)
+        if index == 0:
+            out.append(
+                uve.SsSta(
+                    register, pattern.direction, d.offset, d.size, d.stride,
+                    etype=pattern.etype, mem_level=pattern.mem_level,
+                )
+            )
+        else:
+            last = index == total - 1 and not mods
+            out.append(
+                uve.SsApp(register, d.offset, d.size, d.stride, last=last)
+            )
+        for m_index, modifier in enumerate(mods):
+            if not isinstance(modifier, StaticModifier):
+                raise DescriptorError("only static modifiers are lowered")
+            last = index == total - 1 and m_index == len(mods) - 1
+            out.append(
+                uve.SsAppMod(
+                    register, modifier.target, modifier.behavior,
+                    modifier.displacement, modifier.count, last=last,
+                )
+            )
+    return out

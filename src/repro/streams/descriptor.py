@@ -1,0 +1,131 @@
+"""Stream descriptors and modifiers (paper §II-B).
+
+A *descriptor* is the three-parameter tuple ``{O, E, S}`` (offset, size,
+stride) describing one dimension of an affine access pattern.  Descriptors
+are combined hierarchically: the descriptor of dimension *k* produces a
+displacement added to the offset of dimension *k-1*.
+
+Two kinds of *modifiers* extend the model:
+
+* a **static modifier** ``{T, B, D, E}`` mutates one parameter of the
+  immediately lower dimension by a constant displacement every time its
+  bound dimension iterates (e.g. growing the inner-loop size of a lower
+  triangular scan);
+* an **indirect modifier** ``{T, B, P}`` sets one parameter of the lower
+  dimension from the values produced by *another* stream, enabling
+  indirect (``A[B[i]]``) and indexed scatter/gather patterns.
+
+All offsets and strides are expressed in *elements* of the stream's data
+type; equation (1) of the paper is realised as::
+
+    element_address = sum_k (O_k + i_k * S_k),   i_k in [0, E_k)
+
+which reproduces every example of Fig. 3 (the paper folds the base address
+into the dimension-0 offset).
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import DescriptorError
+
+
+class Param(enum.Enum):
+    """Descriptor parameter targeted by a modifier (the T field)."""
+
+    OFFSET = "offset"
+    SIZE = "size"
+    STRIDE = "stride"
+
+
+class StaticBehavior(enum.Enum):
+    """Static-modifier behaviour operators (the B field, §II-B2)."""
+
+    ADD = "add"
+    SUB = "sub"
+
+
+class IndirectBehavior(enum.Enum):
+    """Indirect-modifier behaviour operators (the B field, §II-B3)."""
+
+    SET_ADD = "set-add"
+    SET_SUB = "set-sub"
+    SET_VALUE = "set-value"
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """One dimension of an access pattern: ``{offset, size, stride}``.
+
+    ``offset`` is in elements (for dimension 0 it carries the variable's
+    base element index); ``size`` is the trip count of the dimension;
+    ``stride`` is the element step applied per iteration.  A ``stride`` of
+    zero repeats the same displacement (useful to re-read a row), and a
+    ``size`` of zero yields no elements.
+    """
+
+    offset: int
+    size: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise DescriptorError(f"descriptor size must be >= 0, got {self.size}")
+
+
+@dataclass(frozen=True)
+class StaticModifier:
+    """Static descriptor modifier ``{T, B, D, E}`` (§II-B2).
+
+    Bound to dimension *k+1*, it applies ``target (B)= displacement`` to
+    dimension *k* at the start of each iteration of dimension *k+1*, for at
+    most ``count`` applications per traversal.  The modification is
+    cumulative and resets when the bound dimension restarts.
+    """
+
+    target: Param
+    behavior: StaticBehavior
+    displacement: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise DescriptorError(f"modifier count must be >= 0, got {self.count}")
+
+    def apply(self, value: int, applications: int) -> int:
+        """Value of the target parameter after this application."""
+        if applications >= self.count:
+            return value
+        if self.behavior is StaticBehavior.ADD:
+            return value + self.displacement
+        return value - self.displacement
+
+
+@dataclass(frozen=True)
+class IndirectModifier:
+    """Indirect descriptor modifier ``{T, B, P}`` (§II-B3).
+
+    Bound to dimension *k+1*, it sets the target parameter of dimension *k*
+    from the next value of the *origin* stream each time the bound
+    dimension iterates.  Unlike static modifiers the effect is not
+    cumulative: the target is recomputed from its configured value.  When
+    an indirect modifier stands alone as a dimension (no descriptor at its
+    level), its trip count is the length of the origin stream.
+    """
+
+    target: Param
+    behavior: IndirectBehavior
+    origin: "object"  # StreamPattern; typed loosely to avoid a cycle
+
+    def apply(self, configured: int, value: int) -> int:
+        """Target parameter value given the origin-stream ``value``."""
+        if self.behavior is IndirectBehavior.SET_ADD:
+            return configured + value
+        if self.behavior is IndirectBehavior.SET_SUB:
+            return configured - value
+        return value
+
+
+Modifier = Union[StaticModifier, IndirectModifier]

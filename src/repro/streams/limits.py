@@ -1,0 +1,16 @@
+"""Complexity limits for stream descriptors (paper §III-A.2).
+
+The UVE specification bounds the hardware resources of the Streaming
+Engine: the implementation evaluated in the paper supports patterns with
+up to 8 dimensions and 7 modifiers per stream, and 32 architectural
+streams (one per vector register).
+"""
+
+#: Maximum number of dimensions in one stream pattern.
+MAX_DIMENSIONS = 8
+
+#: Maximum number of modifiers (static + indirect) in one stream pattern.
+MAX_MODIFIERS = 7
+
+#: Number of architectural streams (= number of vector registers).
+MAX_STREAMS = 32

@@ -1,0 +1,149 @@
+"""Full stream patterns: hierarchies of descriptors plus modifiers.
+
+A :class:`StreamPattern` is the complete, hardware-loadable description of
+one stream: an ordered list of :class:`Level` objects (dimension 0 first),
+the element type, the transfer direction, and the cache level the stream
+is configured to access (paper's ``so.cfg.memx``, L2 by default).
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.common.types import ElementType
+from repro.errors import DescriptorError
+from repro.streams.descriptor import (
+    Descriptor,
+    IndirectModifier,
+    Modifier,
+    StaticModifier,
+)
+from repro.streams.limits import MAX_DIMENSIONS, MAX_MODIFIERS
+
+
+class Direction(enum.Enum):
+    """Transfer direction of a stream."""
+
+    LOAD = "load"
+    STORE = "store"
+
+
+class MemLevel(enum.Enum):
+    """Cache/memory level a stream is configured to access (§IV-A)."""
+
+    L1 = 1
+    L2 = 2
+    MEM = 3
+
+
+@dataclass(frozen=True)
+class Level:
+    """One hierarchy level: an optional descriptor plus bound modifiers.
+
+    Modifiers bound to level *k* affect parameters of level *k-1* (paper
+    Fig. 3.A2/A3).  A level may consist of a lone indirect modifier, in
+    which case its trip count is the origin stream's length.
+    """
+
+    descriptor: Optional[Descriptor]
+    modifiers: Sequence[Modifier] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "modifiers", tuple(self.modifiers))
+        if self.descriptor is None:
+            indirect = [m for m in self.modifiers if isinstance(m, IndirectModifier)]
+            if len(indirect) != 1 or len(self.modifiers) != 1:
+                raise DescriptorError(
+                    "a level without a descriptor must hold exactly one "
+                    "indirect modifier"
+                )
+
+
+@dataclass(frozen=True)
+class StreamPattern:
+    """A complete n-dimensional stream description.
+
+    ``levels[0]`` is the innermost dimension and must carry a descriptor
+    (modifiers can only be bound to levels >= 1, since they affect the
+    level below).
+    """
+
+    levels: Sequence[Level]
+    etype: ElementType = ElementType.F32
+    direction: Direction = Direction.LOAD
+    mem_level: MemLevel = MemLevel.L2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "levels", tuple(self.levels))
+        if not self.levels:
+            raise DescriptorError("a stream pattern needs at least one level")
+        if self.levels[0].descriptor is None:
+            raise DescriptorError("dimension 0 must carry a descriptor")
+        if self.levels[0].modifiers:
+            raise DescriptorError(
+                "dimension 0 cannot carry modifiers (nothing below to modify)"
+            )
+        if self.ndims > MAX_DIMENSIONS:
+            raise DescriptorError(
+                f"pattern has {self.ndims} dimensions; UVE supports at most "
+                f"{MAX_DIMENSIONS}"
+            )
+        if self.nmodifiers > MAX_MODIFIERS:
+            raise DescriptorError(
+                f"pattern has {self.nmodifiers} modifiers; UVE supports at "
+                f"most {MAX_MODIFIERS}"
+            )
+
+    @property
+    def ndims(self) -> int:
+        return len(self.levels)
+
+    @property
+    def nmodifiers(self) -> int:
+        return sum(len(level.modifiers) for level in self.levels)
+
+    @property
+    def is_load(self) -> bool:
+        return self.direction is Direction.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.direction is Direction.STORE
+
+    @property
+    def has_indirection(self) -> bool:
+        return any(
+            isinstance(m, IndirectModifier)
+            for level in self.levels
+            for m in level.modifiers
+        )
+
+    def descriptors(self) -> List[Optional[Descriptor]]:
+        """Descriptors per level (``None`` for lone-indirect levels)."""
+        return [level.descriptor for level in self.levels]
+
+    def static_element_count(self) -> Optional[int]:
+        """Total element count if derivable without iterating.
+
+        Returns ``None`` when the pattern carries modifiers (the count then
+        depends on the modification history or on streamed data).
+        """
+        if self.nmodifiers:
+            return None
+        total = 1
+        for level in self.levels:
+            assert level.descriptor is not None
+            total *= level.descriptor.size
+        return total
+
+    def storage_bytes(self) -> int:
+        """Bytes of Stream Table storage this pattern occupies (§VI-C).
+
+        Each dimension/modifier entry packs three or four 64-bit fields
+        plus control bits; we account 16 B per descriptor and 16 B per
+        modifier, mirroring the paper's 32 B (1-D) to 400 B (8-D + 7
+        modifiers, plus iteration state) context-size range.
+        """
+        dims = sum(1 for level in self.levels if level.descriptor is not None)
+        return 16 * dims + 16 * self.nmodifiers + 16  # +16 B iteration state

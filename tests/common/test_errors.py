@@ -1,0 +1,50 @@
+"""The exception hierarchy: every package error is a ReproError."""
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("DescriptorError", "StreamError", "IsaError",
+                     "AssemblerError", "EncodingError", "ExecutionError",
+                     "MemoryAccessError", "PageFaultError", "ConfigError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_assembler_is_isa_error(self):
+        assert issubclass(errors.AssemblerError, errors.IsaError)
+        assert issubclass(errors.EncodingError, errors.IsaError)
+
+    def test_page_fault_is_memory_error(self):
+        assert issubclass(errors.PageFaultError, errors.MemoryAccessError)
+
+    def test_single_catch_at_api_boundary(self):
+        from repro.memory.backing import Memory
+        mem = Memory(64)
+        with pytest.raises(errors.ReproError):
+            mem.read_scalar(1000, __import__(
+                "repro.common.types", fromlist=["ElementType"]
+            ).ElementType.F32)
+
+
+class TestMemoryBounds:
+    def test_negative_address(self):
+        from repro.common.types import ElementType
+        from repro.memory.backing import Memory
+        mem = Memory(1024)
+        with pytest.raises(errors.MemoryAccessError):
+            mem.read_scalar(-4, ElementType.F32)
+
+    def test_allocation_exhaustion(self):
+        from repro.memory.backing import Memory
+        mem = Memory(1024)
+        with pytest.raises(errors.MemoryAccessError):
+            mem.alloc(4096)
+
+    def test_block_overflow(self):
+        from repro.common.types import ElementType
+        from repro.memory.backing import Memory
+        mem = Memory(256)
+        with pytest.raises(errors.MemoryAccessError):
+            mem.read_block(200, 100, ElementType.F32)

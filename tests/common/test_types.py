@@ -1,0 +1,58 @@
+"""Unit tests for element types and vector shapes."""
+import numpy as np
+import pytest
+
+from repro.common.types import (
+    CACHE_LINE_BYTES,
+    DEFAULT_VECTOR_BITS,
+    ElementType,
+    VectorShape,
+    lanes_for,
+)
+
+
+class TestElementType:
+    def test_widths(self):
+        assert ElementType.I8.width == 1
+        assert ElementType.I16.width == 2
+        assert ElementType.F32.width == 4
+        assert ElementType.F64.width == 8
+
+    def test_float_flags(self):
+        assert ElementType.F32.is_float
+        assert not ElementType.I32.is_float
+
+    def test_signedness(self):
+        assert ElementType.I32.is_signed
+        assert not ElementType.U32.is_signed
+        assert ElementType.F64.is_signed
+
+    def test_dtypes(self):
+        assert ElementType.F32.dtype == np.dtype(np.float32)
+        assert ElementType.U16.dtype == np.dtype(np.uint16)
+
+    def test_from_suffix(self):
+        assert ElementType.from_suffix("w") is ElementType.I32
+        assert ElementType.from_suffix("fd") is ElementType.F64
+        with pytest.raises(ValueError):
+            ElementType.from_suffix("zz")
+
+
+class TestVectorShape:
+    def test_default_512_bits(self):
+        shape = VectorShape()
+        assert shape.bits == DEFAULT_VECTOR_BITS == 512
+        assert shape.lanes == 16
+        assert shape.bytes == 64 == CACHE_LINE_BYTES
+
+    def test_lanes_by_type(self):
+        assert VectorShape(512, ElementType.F64).lanes == 8
+        assert VectorShape(512, ElementType.I8).lanes == 64
+        assert VectorShape(128, ElementType.F32).lanes == 4
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            VectorShape(100, ElementType.F32)
+
+    def test_lanes_for_helper(self):
+        assert lanes_for(256, ElementType.F32) == 8

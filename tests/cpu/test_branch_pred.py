@@ -1,0 +1,47 @@
+"""Unit tests for the gshare branch predictor."""
+from repro.cpu.branch_pred import GsharePredictor
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        bp = GsharePredictor()
+        for _ in range(100):
+            bp.record_outcome(0x40, True)
+        assert bp.predict(0x40)
+
+    def test_learns_never_taken(self):
+        bp = GsharePredictor()
+        wrong = sum(bp.record_outcome(0x40, False) for _ in range(100))
+        assert wrong <= 3  # warms up quickly
+        assert not bp.predict(0x40)
+
+    def test_learns_alternating_via_history(self):
+        bp = GsharePredictor()
+        outcomes = [True, False] * 200
+        wrong = sum(bp.record_outcome(0x80, t) for t in outcomes)
+        # With global history the alternating pattern becomes predictable.
+        assert wrong / len(outcomes) < 0.2
+
+    def test_loop_exit_mispredicts_once_per_loop(self):
+        bp = GsharePredictor()
+        wrong = 0
+        for _ in range(20):  # 20 loops of 50 iterations
+            for i in range(50):
+                wrong += bp.record_outcome(0x10, i < 49)
+        assert wrong < 20 * 4  # about one mispredict per loop exit
+
+    def test_accuracy_property(self):
+        bp = GsharePredictor()
+        for _ in range(10):
+            bp.record_outcome(0, True)
+        assert 0.0 <= bp.accuracy <= 1.0
+        assert bp.predictions == 10
+
+    def test_distinct_pcs_learn_opposite_biases(self):
+        bp = GsharePredictor()
+        wrong = 0
+        for _ in range(300):
+            wrong += bp.record_outcome(0x100, True)
+            wrong += bp.record_outcome(0x104, False)
+        # With history+PC hashing the interleaved pattern is learnable.
+        assert wrong / 600 < 0.1

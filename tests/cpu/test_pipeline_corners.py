@@ -1,0 +1,117 @@
+"""Corner-case tests for pipeline structures not covered elsewhere."""
+import pytest
+
+from repro.cpu.config import baseline_machine
+from repro.isa import ProgramBuilder, f, x
+from repro.isa import scalar_ops as sc
+from repro.memory.backing import Memory
+from repro.sim.simulator import Simulator
+
+
+def run(program, config=None):
+    return Simulator(program, Memory(1 << 20),
+                     config or baseline_machine()).run()
+
+
+class TestWindowLimits:
+    def _independent_fp_loop(self, iters=200):
+        b = ProgramBuilder("fp")
+        b.emit(sc.Li(x(1), 0), sc.Li(x(2), iters))
+        b.label("loop")
+        b.emit(
+            sc.FOp("div", f(2), f(1), 1.5),  # long-latency, independent
+            sc.IntOp("add", x(1), x(1), 1),
+            sc.BranchCmp("lt", x(1), x(2), "loop"),
+            sc.Halt(),
+        )
+        return b.build()
+
+    def _dependent_backlog_loop(self, iters=200):
+        # A serial div chain whose dependents pile up waiting to issue.
+        b = ProgramBuilder("backlog")
+        b.emit(sc.Li(x(1), 0), sc.Li(x(2), iters), sc.FLi(f(1), 1.5))
+        b.label("loop")
+        b.emit(
+            sc.FOp("div", f(1), f(1), 1.0001),  # serial chain
+            sc.FOp("add", f(3), f(1), 1.0),     # waits on the chain
+            sc.FOp("add", f(4), f(1), 2.0),
+            sc.IntOp("add", x(1), x(1), 1),
+            sc.BranchCmp("lt", x(1), x(2), "loop"),
+            sc.Halt(),
+        )
+        return b.build()
+
+    def test_tiny_iq_blocks_rename(self):
+        cfg = baseline_machine()
+        cfg = cfg.with_(core=cfg.core.__class__(iq_entries=4))
+        r = run(self._dependent_backlog_loop(), cfg)
+        assert r.timing.rename_block_causes.get("iq", 0) > 0
+
+    def test_tiny_scheduler_blocks_rename(self):
+        cfg = baseline_machine()
+        cfg = cfg.with_(core=cfg.core.__class__(scheduler_entries=2))
+        r = run(self._independent_fp_loop(), cfg)
+        assert r.timing.rename_block_causes.get("scheduler", 0) > 0
+
+    def test_lq_limit(self):
+        mem = Memory(1 << 20)
+        base = mem.alloc(1 << 16)
+        b = ProgramBuilder("loads")
+        b.emit(sc.Li(x(6), base), sc.Li(x(1), 0))
+        b.label("loop")
+        b.emit(
+            sc.Load(f(1), x(6), 0),
+            sc.IntOp("add", x(6), x(6), 64),
+            sc.IntOp("add", x(1), x(1), 1),
+            sc.BranchCmp("lt", x(1), 300, "loop"),
+            sc.Halt(),
+        )
+        cfg = baseline_machine()
+        cfg = cfg.with_(core=cfg.core.__class__(lq_entries=2))
+        r = Simulator(b.build(), mem, cfg).run()
+        assert r.timing.rename_block_causes.get("lq", 0) > 0
+
+    def test_wider_commit_helps_int_loop(self):
+        narrow = baseline_machine()
+        narrow = narrow.with_(core=narrow.core.__class__(commit_width=1))
+        wide = baseline_machine()
+        prog = self._independent_fp_loop()
+        assert run(prog, narrow).cycles > run(prog, wide).cycles
+
+
+class TestFrontEnd:
+    def test_deeper_frontend_costs_more_on_mispredicts(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, 300).astype(np.int64)
+        mem = Memory(1 << 20)
+        addr = mem.alloc_array(data)
+
+        def program():
+            b = ProgramBuilder("br")
+            b.emit(sc.Li(x(6), addr), sc.Li(x(1), 0))
+            b.label("loop")
+            b.emit(
+                sc.Load(x(5), x(6), 0),
+                sc.BranchCmp("eq", x(5), 0, "skip"),
+                sc.IntOp("add", x(7), x(7), 1),
+            )
+            b.label("skip")
+            b.emit(
+                sc.IntOp("add", x(6), x(6), 8),
+                sc.IntOp("add", x(1), x(1), 1),
+                sc.BranchCmp("lt", x(1), 300, "loop"),
+                sc.Halt(),
+            )
+            return b.build()
+
+        shallow = baseline_machine()
+        shallow = shallow.with_(core=shallow.core.__class__(frontend_depth=2))
+        deep = baseline_machine()
+        deep = deep.with_(core=deep.core.__class__(frontend_depth=30))
+        fast = Simulator(program(), mem, shallow).run()
+        mem2 = Memory(1 << 20)
+        mem2.data[:] = mem.data
+        mem2._brk = mem._brk
+        slow = Simulator(program(), mem2, deep).run()
+        assert slow.cycles > fast.cycles

@@ -1,0 +1,194 @@
+"""Unit-level tests of the out-of-order pipeline on tiny synthetic
+programs with known timing characteristics."""
+import numpy as np
+import pytest
+
+from repro.common.types import ElementType
+
+from repro.cpu.config import MachineConfig, baseline_machine
+from repro.isa import ProgramBuilder, f, u, x
+from repro.isa import scalar_ops as sc
+from repro.isa import uve_ops as uve
+from repro.memory.backing import Memory
+from repro.sim.simulator import Simulator
+from repro.streams.pattern import Direction
+
+
+def run(program, memory=None, config=None):
+    memory = memory or Memory(1 << 20)
+    return Simulator(program, memory, config or baseline_machine()).run()
+
+
+def loop_program(body_builder, iters=200, name="loop"):
+    b = ProgramBuilder(name)
+    b.emit(sc.Li(x(1), 0), sc.Li(x(2), iters))
+    b.label("loop")
+    body_builder(b)
+    b.emit(
+        sc.IntOp("add", x(1), x(1), 1),
+        sc.BranchCmp("lt", x(1), x(2), "loop"),
+    )
+    b.emit(sc.Halt())
+    return b.build()
+
+
+class TestThroughput:
+    def test_committed_matches_trace(self):
+        program = loop_program(lambda b: None, iters=100)
+        r = run(program)
+        assert r.committed == r.summary.committed
+        assert r.committed == 3 + 100 * 2  # prologue+halt + 2/iter
+
+    def test_independent_int_ops_reach_alu_throughput(self):
+        # 2 ALU ops + branch per iteration; 2 int ALUs, taken-branch-bounded
+        # fetch: about 1.5-2 cycles/iteration.
+        def body(b):
+            b.emit(sc.IntOp("add", x(5), x(5), 1))
+
+        r = run(loop_program(body, iters=500))
+        assert r.cycles < 3.0 * 500
+
+    def test_dependent_fp_chain_is_latency_bound(self):
+        # A serial FP chain: each fadd depends on the previous one
+        # (latency 2) -> at least 2 cycles per op.
+        def body(b):
+            b.emit(sc.FOp("add", f(1), f(1), 1.0))
+
+        r = run(loop_program(body, iters=300))
+        assert r.cycles >= 2.0 * 300
+
+    def test_int_div_slower_than_add(self):
+        def div_body(b):
+            b.emit(sc.IntOp("div", x(5), x(5), 3))
+
+        def add_body(b):
+            b.emit(sc.IntOp("add", x(5), x(5), 3))
+
+        slow = run(loop_program(div_body, iters=200))
+        fast = run(loop_program(add_body, iters=200))
+        assert slow.cycles > 2 * fast.cycles
+
+
+class TestMemoryTiming:
+    def test_l1_hit_loads(self):
+        mem = Memory(1 << 20)
+        addr = mem.alloc_array(np.zeros(16, dtype=np.int64))
+        b = ProgramBuilder("loads")
+        b.emit(sc.Li(x(6), addr), sc.Li(x(1), 0), sc.Li(x(2), 200))
+        b.label("loop")
+        b.emit(
+            sc.Load(x(5), x(6), 0),
+            sc.IntOp("add", x(1), x(1), 1),
+            sc.BranchCmp("lt", x(1), x(2), "loop"),
+            sc.Halt(),
+        )
+        # Build loop correctly: branch back then halt at fallthrough.
+        r = run(b.build(), mem)
+        # Independent L1-hit loads pipeline: well under the raw 4-cycle
+        # latency per load.
+        assert r.cycles < 3.0 * 200
+
+    def test_dependent_pointer_chase_pays_full_latency(self):
+        mem = Memory(1 << 20)
+        # Build a self-referential pointer chain (each slot points to the
+        # next, spaced by a cache line so every hop is a distinct line).
+        n = 64
+        addrs = [mem.alloc(64) for _ in range(n + 1)]
+        for i in range(n):
+            mem.write_scalar(addrs[i], addrs[i + 1], ElementType.I64)
+        b = ProgramBuilder("chase")
+        b.emit(sc.Li(x(5), addrs[0]), sc.Li(x(1), 0), sc.Li(x(2), n))
+        b.label("loop")
+        b.emit(
+            sc.Load(x(5), x(5), 0),
+            sc.IntOp("add", x(1), x(1), 1),
+            sc.BranchCmp("lt", x(1), x(2), "loop"),
+            sc.Halt(),
+        )
+        r = run(b.build(), mem)
+        # Every load depends on the previous: >= L1 hit latency each.
+        assert r.cycles >= 4.0 * n
+
+    def test_store_queue_backpressure_counted(self):
+        config = baseline_machine().with_(
+            core=baseline_machine().core.__class__(sq_entries=2)
+        )
+        mem = Memory(1 << 20)
+        base = mem.alloc(1 << 16)
+
+        b = ProgramBuilder("stores")
+        b.emit(sc.Li(x(6), base), sc.Li(x(1), 0), sc.Li(x(2), 300))
+        b.label("loop")
+        b.emit(
+            sc.Store(x(1), x(6), 0),
+            sc.IntOp("add", x(6), x(6), 64),
+            sc.IntOp("add", x(1), x(1), 1),
+            sc.BranchCmp("lt", x(1), x(2), "loop"),
+            sc.Halt(),
+        )
+        r = run(b.build(), mem, config)
+        assert r.timing.rename_block_causes.get("sq", 0) > 0
+
+
+class TestBranches:
+    def test_predictable_loop_branch_rarely_mispredicts(self):
+        r = run(loop_program(lambda b: None, iters=500))
+        assert r.timing.mispredict_rate < 0.05
+
+    def test_random_branches_mispredict_and_cost(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, 400).astype(np.int64)
+        mem = Memory(1 << 20)
+        addr = mem.alloc_array(data)
+        b = ProgramBuilder("random-branches")
+        b.emit(sc.Li(x(6), addr), sc.Li(x(1), 0), sc.Li(x(2), 400))
+        b.label("loop")
+        b.emit(
+            sc.Load(x(5), x(6), 0),
+            sc.BranchCmp("eq", x(5), 0, "skip"),
+            sc.IntOp("add", x(7), x(7), 1),
+        )
+        b.label("skip")
+        b.emit(
+            sc.IntOp("add", x(6), x(6), 8),
+            sc.IntOp("add", x(1), x(1), 1),
+            sc.BranchCmp("lt", x(1), x(2), "loop"),
+            sc.Halt(),
+        )
+        r = run(b.build(), mem)
+        assert r.timing.branches > 0
+        assert r.timing.mispredict_rate > 0.1
+        assert r.timing.fetch_stall_cycles > 400  # bubbles from mispredicts
+
+
+class TestStructuralLimits:
+    def test_rob_limits_inflight(self):
+        small = baseline_machine()
+        small = small.with_(core=small.core.__class__(rob_entries=8))
+
+        def body(b):
+            b.emit(sc.FOp("add", f(2), f(1), 1.0))  # independent, slow-ish
+
+        r = run(loop_program(body, iters=300), config=small)
+        assert r.timing.rename_block_causes.get("rob", 0) > 0
+
+    def test_fp_regs_limit(self):
+        small = baseline_machine()
+        small = small.with_(core=small.core.__class__(fp_phys_regs=34))
+
+        def body(b):
+            b.emit(sc.FOp("add", f(2), f(1), 1.0))
+
+        r = run(loop_program(body, iters=300), config=small)
+        assert r.timing.rename_block_causes.get("fp_regs", 0) > 0
+
+    def test_streaming_disabled_machine_rejects_stream_traces(self):
+        from repro.errors import ConfigError
+        b = ProgramBuilder("s")
+        b.emit(
+            uve.SsConfig1D(u(0), Direction.LOAD, 16, 4, 1),
+            sc.Halt(),
+        )
+        mem = Memory(1 << 20)
+        with pytest.raises(ConfigError):
+            Simulator(b.build(), mem, baseline_machine()).run()

@@ -1,0 +1,294 @@
+"""Unit tests for the Streaming Engine timing model."""
+import math
+
+import pytest
+
+from repro.common.types import ElementType
+from repro.cpu.config import EngineConfig
+from repro.engine.engine import StreamingEngine
+from repro.engine.scheduler import StreamScheduler
+from repro.engine.table import EngineStream
+from repro.errors import ConfigError, StreamError
+from repro.sim.trace import StreamTraceInfo
+from repro.streams.pattern import Direction, MemLevel
+
+
+class FakeTlb:
+    walk_latency = 20
+
+    def translate(self, addr):
+        return 0
+
+    def probe(self, addr):
+        return True
+
+
+class FakeHierarchy:
+    """Fixed-latency memory with access logging."""
+
+    line_bytes = 64
+
+    def __init__(self, latency=10):
+        self.latency = latency
+        self.reads = []
+        self.writes = []
+        self.tlb = FakeTlb()
+
+        class _L1:
+            @staticmethod
+            def can_accept(now):
+                return True
+
+        self.l1d = _L1()
+
+    def stream_read(self, line, now, level):
+        self.reads.append((line, now, level))
+        return now + self.latency
+
+    def stream_write(self, line, now, level):
+        self.writes.append((line, now))
+        return now + 1
+
+
+def make_info(uid=0, reg=0, n_chunks=4, lines_per_chunk=1,
+              direction=Direction.LOAD, flags=None):
+    info = StreamTraceInfo(
+        uid=uid, reg=reg, direction=direction, etype=ElementType.F32,
+        mem_level=MemLevel.L2, ndims=2, storage_bytes=48,
+    )
+    for c in range(n_chunks):
+        base = c * lines_per_chunk * 64
+        info.chunks.append(
+            [base + i * 64 for i in range(lines_per_chunk)]
+        )
+        info.origin_reads.append([])
+        info.chunk_flags.append(flags[c] if flags else 0)
+    info.chunk_flags[-1] = info.ndims - 1
+    return info
+
+
+def make_engine(latency=10, **cfg):
+    hierarchy = FakeHierarchy(latency)
+    engine = StreamingEngine(EngineConfig(**cfg), hierarchy)
+    return engine, hierarchy
+
+
+class TestConfiguration:
+    def test_scrob_serializes_configs(self):
+        engine, _ = make_engine()
+        t0 = engine.configure(make_info(uid=0), now=5)
+        t1 = engine.configure(make_info(uid=1, reg=1), now=5)
+        assert t1 == t0 + 1  # one configuration per cycle, in order
+
+    def test_stream_limit_enforced(self):
+        engine, _ = make_engine(max_streams=2)
+        engine.configure(make_info(uid=0, reg=0), 0)
+        engine.configure(make_info(uid=1, reg=1), 0)
+        with pytest.raises(StreamError):
+            engine.configure(make_info(uid=2, reg=2), 0)
+
+    def test_finished_streams_recycled(self):
+        engine, _ = make_engine(max_streams=1)
+        engine.configure(make_info(uid=0, n_chunks=1), 0)
+        for cycle in range(30):
+            engine.tick(cycle)
+        engine.commit_read(0, 0)
+        engine.configure(make_info(uid=1, reg=1), 40)  # recycles uid 0
+        assert 1 in engine.streams
+
+
+class TestFetchAhead:
+    def test_fetches_up_to_fifo_depth(self):
+        engine, hier = make_engine(fifo_depth=2, processing_modules=1)
+        engine.configure(make_info(n_chunks=8), 0)
+        for cycle in range(50):
+            engine.tick(cycle)
+        # Only 2 chunks (= 2 lines) may be in flight before any commit.
+        assert len(hier.reads) == 2
+
+    def test_commit_frees_fifo_and_resumes(self):
+        engine, hier = make_engine(fifo_depth=2, processing_modules=1)
+        engine.configure(make_info(n_chunks=8), 0)
+        for cycle in range(20):
+            engine.tick(cycle)
+        engine.commit_read(0, 0)
+        for cycle in range(20, 40):
+            engine.tick(cycle)
+        assert len(hier.reads) == 3
+
+    def test_chunk_ready_latency(self):
+        engine, hier = make_engine(latency=10)
+        engine.configure(make_info(), 0)
+        for cycle in range(5):
+            engine.tick(cycle)
+        ready = engine.chunk_ready(0, 0)
+        line, issued_at, _ = hier.reads[0]
+        assert ready == issued_at + 10 + 2  # latency + fill/forward
+
+    def test_unfetched_chunk_is_infinite(self):
+        engine, _ = make_engine(fifo_depth=2)
+        engine.configure(make_info(n_chunks=8), 0)
+        engine.tick(0)
+        assert math.isinf(engine.chunk_ready(0, 7))
+
+    def test_multi_line_chunks_issue_one_line_per_cycle(self):
+        engine, hier = make_engine(processing_modules=1)
+        engine.configure(make_info(n_chunks=1, lines_per_chunk=3), 0)
+        for cycle in range(10):
+            engine.tick(cycle)
+        issue_times = [t for (_, t, __) in hier.reads]
+        assert len(issue_times) == 3
+        assert issue_times[1] > issue_times[0]
+
+    def test_request_queue_bounds_pathological_backlog(self):
+        # The queue stages requests for the arbiter; in-flight misses are
+        # tracked by cache MSHRs, so only a pathological backlog (far-
+        # future completions piling up beyond 4x the queue) stalls
+        # generation.
+        engine, hier = make_engine(
+            latency=100_000, memory_request_queue=1, processing_modules=2,
+            fifo_depth=16,
+        )
+        engine.configure(make_info(n_chunks=16), 0)
+        for cycle in range(30):
+            engine.tick(cycle)
+        assert len(hier.reads) == 4  # 4 x memory_request_queue
+        assert engine.stats.request_queue_stalls > 0
+
+    def test_mem_level_override(self):
+        engine, hier = make_engine(mem_level_override="mem")
+        engine.configure(make_info(), 0)
+        for cycle in range(5):
+            engine.tick(cycle)
+        assert hier.reads[0][2] is MemLevel.MEM
+
+
+class TestSpeculationSupport:
+    def test_squash_reverts_to_commit_point(self):
+        engine, _ = make_engine()
+        engine.configure(make_info(), 0)
+        engine.rename_read(0, 0)
+        engine.rename_read(0, 1)
+        stream = engine.streams[0]
+        assert stream.spec_head == 2
+        engine.squash(0, 0)
+        assert stream.spec_head == 0  # reverted to commit point
+
+    def test_squashed_data_stays_buffered(self):
+        # A3: miss-speculatively consumed chunks remain valid — ready time
+        # is unchanged after a squash, no re-fetch happens.
+        engine, hier = make_engine()
+        engine.configure(make_info(), 0)
+        for cycle in range(10):
+            engine.tick(cycle)
+        before = engine.chunk_ready(0, 0)
+        reads_before = len(hier.reads)
+        engine.rename_read(0, 0)
+        engine.squash(0, 0)
+        for cycle in range(10, 15):
+            engine.tick(cycle)
+        assert engine.chunk_ready(0, 0) == before
+        assert len(hier.reads) == reads_before + 0  # no duplicate loads
+
+
+class TestStores:
+    def make_store(self, engine, n_chunks=4):
+        info = make_info(direction=Direction.STORE, n_chunks=n_chunks)
+        engine.configure(info, 0)
+        return info
+
+    def test_reserve_until_full(self):
+        engine, _ = make_engine(fifo_depth=2)
+        self.make_store(engine)
+        assert engine.reserve_store(0)
+        assert engine.reserve_store(0)
+        assert not engine.reserve_store(0)
+
+    def test_commit_write_drains_and_frees(self):
+        engine, hier = make_engine(fifo_depth=1)
+        self.make_store(engine)
+        assert engine.reserve_store(0)
+        engine.commit_write(0, 0, now=5)
+        assert engine.stores_pending
+        engine.tick(6)
+        assert not engine.stores_pending
+        assert hier.writes == [(0, 6)]
+        assert engine.reserve_store(0)  # entry freed after drain
+
+    def test_drain_rate_one_line_per_port(self):
+        engine, hier = make_engine(fifo_depth=8, store_ports=1)
+        self.make_store(engine)
+        for c in range(3):
+            engine.reserve_store(0)
+            engine.commit_write(0, c, now=0)
+        for cycle in range(1, 4):
+            engine.tick(cycle)
+        assert len(hier.writes) == 3
+        assert [t for (_, t) in hier.writes] == [1, 2, 3]
+
+
+class TestScheduler:
+    def _stream(self, uid, occupancy, num=10):
+        info = make_info(uid=uid, reg=uid, n_chunks=num)
+        s = EngineStream(info, fifo_depth=8, line_bytes=64, start_cycle=0)
+        s.gen_next = occupancy
+        return s
+
+    def test_fifo_occupancy_priority(self):
+        sched = StreamScheduler("fifo-occupancy")
+        streams = [self._stream(0, 5), self._stream(1, 1), self._stream(2, 3)]
+        chosen = sched.select(streams, 2, now=0)
+        assert [s.info.uid for s in chosen] == [1, 2]
+
+    def test_round_robin_rotates(self):
+        sched = StreamScheduler("round-robin")
+        streams = [self._stream(0, 1), self._stream(1, 1)]
+        first = sched.select(streams, 1, now=0)[0].info.uid
+        second = sched.select(streams, 1, now=1)[0].info.uid
+        assert {first, second} == {0, 1}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamScheduler("lifo")
+
+    def test_full_fifo_not_selected(self):
+        sched = StreamScheduler()
+        full = self._stream(0, 8)
+        assert sched.select([full], 2, now=0) == []
+
+
+class TestDimensionSwitch:
+    def test_dim_switch_costs_extra_cycle(self):
+        engine, hier = make_engine(processing_modules=1, dim_switch_penalty=1)
+        info = make_info(n_chunks=4, flags=[1, 0, 1, 1])
+        engine.configure(info, 0)
+        for cycle in range(20):
+            engine.tick(cycle)
+        assert engine.stats.dim_switch_stalls >= 1
+
+
+class TestOverheadAccounting:
+    def test_default_storage_matches_paper_scale(self):
+        engine, _ = make_engine()
+        ov = engine.storage_overheads()
+        # Paper: ~14 KB of table storage and ~17 KB of FIFOs.
+        assert 6_000 <= ov["stream_table_bytes"] <= 16_000
+        assert 15_000 <= ov["fifo_bytes"] <= 20_000
+
+    def test_reduced_config_is_about_one_tenth_l1(self):
+        engine, _ = make_engine(max_streams=8, max_dims=4, max_mods=3)
+        ov = engine.storage_overheads()
+        assert ov["total_bytes"] <= 0.12 * 65536
+
+
+class TestPageFaults:
+    def test_unmapped_page_is_flagged_not_raised(self):
+        """A2/§IV-A: the engine flags faulting elements for commit-time
+        handling and keeps streaming."""
+        engine, hier = make_engine()
+        hier.tlb.probe = lambda addr: False  # every page unmapped
+        engine.configure(make_info(n_chunks=2), 0)
+        for cycle in range(20):
+            engine.tick(cycle)
+        assert engine.stats.page_faults >= 2
+        assert engine.stats.chunks_filled == 2  # streaming continued

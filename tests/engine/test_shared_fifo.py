@@ -1,0 +1,74 @@
+"""Unit tests for the pooled (shared) load-FIFO option (§IV-B future
+work, implemented as ``EngineConfig.shared_fifo``)."""
+from repro.cpu.config import EngineConfig
+from repro.engine.engine import StreamingEngine
+
+from tests.engine.test_engine import FakeHierarchy, make_info
+
+
+def make_engine(latency=10, **cfg):
+    hierarchy = FakeHierarchy(latency=latency)
+    return StreamingEngine(EngineConfig(**cfg), hierarchy), hierarchy
+
+
+class TestSharedFifo:
+    def test_busy_stream_borrows_idle_streams_capacity(self):
+        """The pool lets a busy stream run ahead past its nominal depth
+        while a lightly-used stream leaves capacity unused."""
+        engine, hier = make_engine(
+            shared_fifo=True, fifo_depth=2, processing_modules=1
+        )
+        engine.configure(make_info(uid=0, reg=0, n_chunks=1), 0)  # idle-ish
+        engine.configure(make_info(uid=1, reg=1, n_chunks=16), 0)  # busy
+        for cycle in range(40):
+            engine.tick(cycle)
+        # Stream 1 fetched beyond its fixed-depth bound of 2.
+        assert engine.streams[1].gen_next > 2
+
+    def test_per_stream_cap_at_four_times_depth(self):
+        engine, hier = make_engine(
+            shared_fifo=True, fifo_depth=2, processing_modules=1
+        )
+        engine.configure(make_info(n_chunks=32), 0)
+        for cycle in range(100):
+            engine.tick(cycle)
+        assert len(hier.reads) <= 8  # 4 x depth
+
+    def test_pool_capacity_scales_with_active_streams(self):
+        engine, _ = make_engine(shared_fifo=True, fifo_depth=4)
+        engine.configure(make_info(uid=0, reg=0, n_chunks=8), 0)
+        engine.configure(make_info(uid=1, reg=1, n_chunks=8), 0)
+        assert engine._shared_pool_free() == 8  # 4 x 2 active streams
+
+    def test_pool_accounts_for_occupancy(self):
+        engine, _ = make_engine(shared_fifo=True, fifo_depth=4,
+                                processing_modules=2)
+        engine.configure(make_info(n_chunks=8), 0)
+        for cycle in range(6):
+            engine.tick(cycle)
+        used = engine.streams[0].fifo_occupancy()
+        assert engine._shared_pool_free() == 4 - used
+
+    def test_guaranteed_entry_prevents_starvation(self):
+        """A stream under its nominal depth stays eligible even when the
+        pool is exhausted by another stream (starvation avoidance)."""
+        engine, hier = make_engine(
+            shared_fifo=True, fifo_depth=2, processing_modules=1,
+            latency=1000,
+        )
+        engine.configure(make_info(uid=0, reg=0, n_chunks=32), 0)
+        for cycle in range(20):
+            engine.tick(cycle)
+        # Stream 0 hogged the pool; a new stream must still make progress.
+        engine.configure(make_info(uid=1, reg=1, n_chunks=4), 20)
+        for cycle in range(21, 60):
+            engine.tick(cycle)
+        assert engine.streams[1].gen_next >= 1
+
+    def test_fixed_mode_unchanged(self):
+        fixed, hier_fixed = make_engine(shared_fifo=False, fifo_depth=2,
+                                        processing_modules=1)
+        fixed.configure(make_info(n_chunks=8), 0)
+        for cycle in range(30):
+            fixed.tick(cycle)
+        assert len(hier_fixed.reads) == 2

@@ -1,0 +1,99 @@
+"""Unit tests for EngineStream (stream-table entry) internals."""
+import math
+
+import pytest
+
+from repro.engine.table import EngineStream
+from repro.errors import StreamError
+
+from tests.engine.test_engine import make_info
+
+
+def make_stream(info=None, depth=8, start=0.0):
+    info = info or make_info()
+    return EngineStream(info, fifo_depth=depth, line_bytes=64,
+                        start_cycle=start)
+
+
+class TestLineGeneration:
+    def test_lines_deduplicated_within_chunk(self):
+        info = make_info(n_chunks=1)
+        # A chunk whose addresses share lines: 0,4,8 are line 0; 64 line 1.
+        info.chunks[0] = [0, 4, 8, 64, 68]
+        stream = make_stream(info)
+        lines = []
+        while True:
+            line = stream.next_line_request()
+            if line is None:
+                break
+            lines.append(line)
+            stream.line_issued(100.0)
+        assert lines == [0, 1]
+
+    def test_origin_reads_prepended(self):
+        info = make_info(n_chunks=1)
+        info.chunks[0] = [0]
+        info.origin_reads[0] = [4096]  # indirect index fetch, line 64
+        stream = make_stream(info)
+        assert stream.next_line_request() == 64
+        stream.line_issued(10.0)
+        assert stream.next_line_request() == 0
+
+    def test_chunk_ready_includes_fill_forward(self):
+        stream = make_stream()
+        stream.next_line_request()
+        finished = stream.line_issued(50.0)
+        assert finished == 0
+        assert stream.ready_cycle(0) == 52.0  # +2 fill/forward
+
+    def test_ready_of_unfetched_chunk_is_infinite(self):
+        stream = make_stream()
+        assert math.isinf(stream.ready_cycle(3))
+
+    def test_line_issued_without_request_rejected(self):
+        stream = make_stream()
+        with pytest.raises(StreamError):
+            stream.line_issued(1.0)
+
+
+class TestPointers:
+    def test_commit_frees_and_marks_delivered(self):
+        stream = make_stream()
+        stream.next_line_request()
+        stream.line_issued(10.0)
+        stream.commit_read(0)
+        assert stream.commit_head == 1
+        # Committed chunks read as available (element-wise consumers).
+        assert stream.ready_cycle(0) == 0.0
+
+    def test_start_cycle_gates_generation(self):
+        stream = make_stream(start=100.0)
+        assert not stream.wants_generation(now=50.0)
+        assert stream.wants_generation(now=100.0)
+
+    def test_terminated_stream_inert(self):
+        stream = make_stream()
+        stream.terminate()
+        assert not stream.wants_generation(0.0)
+
+    def test_exhausted_generation(self):
+        info = make_info(n_chunks=1)
+        stream = make_stream(info)
+        stream.next_line_request()
+        stream.line_issued(1.0)
+        assert stream.next_line_request() is None
+        assert not stream.wants_generation(10.0)
+
+
+class TestStoreBookkeeping:
+    def test_occupancy_of_store_stream(self):
+        from repro.streams.pattern import Direction
+        info = make_info(direction=Direction.STORE)
+        stream = make_stream(info, depth=2)
+        assert stream.fifo_occupancy() == 0
+        assert stream.reserve_store()
+        assert stream.fifo_occupancy() == 1
+        assert stream.reserve_store()
+        assert not stream.reserve_store()
+        stream.drain_store()
+        assert stream.reserve_store()

@@ -1,0 +1,90 @@
+"""Tests for the results-validation module."""
+import json
+
+import pytest
+
+from repro.harness.checks import CheckReport, validate_results
+
+
+@pytest.fixture()
+def good_payload():
+    return {
+        "scale": 1.0,
+        "seed": 0,
+        "experiments": [
+            {
+                "experiment": "fig8b",
+                "title": "",
+                "headers": [],
+                "rows": [
+                    ["A", "memcpy", "1.50x", "1.60x", ""],
+                    ["O", "mamr", "11.00x", "11.00x", "*"],
+                    ["R", "seidel-2d", "1.05x", "1.05x", "*"],
+                    ["", "geomean (vectorized vs SVE)", "1.55x", "6.0x", ""],
+                ],
+                "notes": [],
+            },
+            {
+                "experiment": "fig9",
+                "title": "",
+                "headers": [],
+                "rows": [
+                    ["gemm", "uve", "1.00x", "1.00x", "1.01x"],
+                    ["gemm", "sve", "1.00x", "1.14x", "1.33x"],
+                ],
+                "notes": [],
+            },
+        ],
+    }
+
+
+def write(tmp_path, payload):
+    path = tmp_path / "r.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestValidateResults:
+    def test_good_campaign_passes(self, tmp_path, good_payload):
+        report = validate_results(write(tmp_path, good_payload))
+        assert report.ok
+        assert report.passed
+
+    def test_uve_losing_fails(self, tmp_path, good_payload):
+        good_payload["experiments"][0]["rows"][0][2] = "0.80x"
+        report = validate_results(write(tmp_path, good_payload))
+        assert not report.ok
+        assert any("memcpy" in f for f in report.failed)
+
+    def test_uve_pr_sensitivity_fails(self, tmp_path, good_payload):
+        good_payload["experiments"][1]["rows"][0] = [
+            "gemm", "uve", "1.00x", "1.20x", "1.40x",
+        ]
+        report = validate_results(write(tmp_path, good_payload))
+        assert not report.ok
+
+    def test_missing_experiments_are_skipped(self, tmp_path):
+        report = validate_results(
+            write(tmp_path, {"scale": 1, "seed": 0, "experiments": []})
+        )
+        assert report.ok  # nothing to check, nothing failed
+
+    def test_render(self):
+        report = CheckReport()
+        report.check(True, "fine")
+        report.check(False, "broken")
+        text = report.render()
+        assert "1 checks passed, 1 failed" in text
+        assert "FAIL: broken" in text
+
+
+class TestCanonicalResults:
+    def test_repository_results_json_validates(self):
+        """The committed canonical campaign satisfies every shape check."""
+        import pathlib
+        path = pathlib.Path(__file__).resolve().parents[2] / "results.json"
+        if not path.exists():
+            pytest.skip("canonical results.json not present")
+        report = validate_results(str(path))
+        assert report.ok, report.render()
+        assert len(report.passed) > 50

@@ -1,0 +1,51 @@
+"""Tests for the command-line entry points."""
+import json
+
+import pytest
+
+from repro.harness.__main__ import main as harness_main
+from repro.kernels.__main__ import main as kernels_main
+
+
+class TestHarnessCli:
+    def test_selected_experiment_runs(self, capsys):
+        assert harness_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU model configuration" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            harness_main(["fig99"])
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        assert harness_main(["table1", "overheads", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["scale"] == 1.0
+        names = [e["experiment"] for e in payload["experiments"]]
+        assert names == ["table1", "overheads"]
+        assert payload["experiments"][0]["rows"]
+
+
+class TestKernelsCli:
+    def test_runs_and_reports(self, capsys):
+        assert kernels_main(["saxpy", "--isa", "uve", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against NumPy" in out
+        assert "committed instructions" in out
+
+    def test_listing_flag(self, capsys):
+        assert kernels_main(
+            ["saxpy", "--isa", "uve", "--scale", "0.1", "--listing"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "so.a.mul.fp" in out
+
+    def test_baseline_isa(self, capsys):
+        assert kernels_main(["saxpy", "--isa", "sve", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "[sve]" in out
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            kernels_main(["made-up-kernel"])

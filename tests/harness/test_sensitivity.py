@@ -1,0 +1,62 @@
+"""Integration tests for the sensitivity/extension experiments at tiny
+scale (shape checks; full-scale numbers live in EXPERIMENTS.md)."""
+import pytest
+
+from repro.harness import Runner, run_experiment
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(scale=0.1, seed=0)
+
+
+class TestFig9:
+    def test_uve_is_flat_in_vector_registers(self, runner):
+        result = run_experiment("fig9", runner)
+        for row in result.rows:
+            name, isa, *speeds = row
+            values = [float(s.rstrip("x")) for s in speeds]
+            if isa == "uve":
+                assert max(values) - min(values) < 0.15, row
+
+    def test_normalization_column_is_one(self, runner):
+        result = run_experiment("fig9", runner)
+        for row in result.rows:
+            assert float(row[2].rstrip("x")) == 1.0
+
+
+class TestFig10:
+    def test_shallow_fifos_hurt(self, runner):
+        result = run_experiment("fig10", runner)
+        for row in result.rows:
+            name, *speeds = row
+            values = [float(s.rstrip("x")) for s in speeds]
+            # depth 2 is clearly slower than depth 8 (normalized 1.0)
+            assert values[0] < 0.95, row
+            # performance is monotone non-decreasing in depth
+            assert values == sorted(values) or values[-1] >= values[1], row
+
+
+class TestFig11:
+    def test_dram_streaming_is_worst_for_l2_resident(self, runner):
+        result = run_experiment("fig11", runner)
+        by_name = {row[0]: row for row in result.rows}
+        for name in ("gemm", "jacobi-2d", "mamr"):
+            dram = float(by_name[name][3].rstrip("x"))
+            l2 = float(by_name[name][2].rstrip("x"))
+            assert dram < l2, by_name[name]
+
+
+class TestExtensions:
+    def test_rvv_between_uve_and_neon(self, runner):
+        result = run_experiment("ext-rvv", runner)
+        for row in result.rows:
+            vs_rvv = float(row[2].rstrip("x"))
+            vs_neon = float(row[3].rstrip("x"))
+            assert vs_rvv >= 0.9  # UVE never meaningfully loses to RVV
+            assert vs_neon >= vs_rvv - 0.2
+
+    def test_shared_fifo_never_hurts_much(self, runner):
+        result = run_experiment("ext-shared-fifo", runner)
+        for row in result.rows:
+            assert float(row[3].rstrip("x")) > 0.9, row

@@ -1,0 +1,56 @@
+"""Golden committed-instruction counts per kernel and ISA.
+
+These are regression locks: a change to a kernel's code shape or to an
+ISA's semantics that alters the dynamic instruction count — the paper's
+Fig. 8.A currency — must be deliberate and show up here.
+Counts are at scale 0.25, seed 0.
+"""
+import pytest
+
+from repro.kernels import get_kernel
+from repro.sim.functional import FunctionalSimulator
+
+#: kernel -> (uve, sve, neon) committed instructions at scale 0.25.
+GOLDEN = {
+    "memcpy": (2051, 5126, 16392),
+    "stream": (3469, 9615, 32286),
+    "saxpy": (774, 1801, 6155),
+    "gemm": (344, 850, 4500),
+    "3mm": (2479, 6076, 32716),
+    "mvt": (193, 408, 1084),
+    "gemver": (337, 794, 1852),
+    "trisolv": (303, 535, 2776),
+    "jacobi-1d": (2059, 6157, 20517),
+    "jacobi-2d": (555, 1859, 4805),
+    "irsmk": (193, 788, 4987),
+    "haccmk": (580, 888, 2917),
+    "knn": (1035, 1678, 6156),
+    "covariance": (488, 19062, 19062),
+    "mamr": (148, 2932, 2932),
+    "mamr-diag": (117, 1900, 1900),
+    "mamr-ind": (149, 3029, 3029),
+    "seidel-2d": (3786, 4385, 4385),
+    "floyd-warshall": (250, 2277, 2277),
+}
+
+
+def committed(name, isa):
+    kernel = get_kernel(name)
+    wl = kernel.workload(seed=0, scale=0.25)
+    sim = FunctionalSimulator(kernel.build(isa, wl), memory=wl.memory)
+    count = sim.run().committed
+    wl.verify()
+    return count
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_counts(name):
+    uve, sve, neon = GOLDEN[name]
+    assert committed(name, "uve") == uve
+    assert committed(name, "sve") == sve
+    assert committed(name, "neon") == neon
+
+
+def test_golden_table_covers_all_kernels():
+    from repro.kernels import kernel_names
+    assert set(GOLDEN) == set(kernel_names())

@@ -1,0 +1,49 @@
+"""Consistency checks on the benchmark-suite metadata (Fig. 8 table)."""
+import string
+
+from repro.kernels import all_kernels, get_kernel
+from repro.sim.functional import FunctionalSimulator
+
+
+class TestSuiteMetadata:
+    def test_letters_are_a_through_s(self):
+        letters = [k.letter for k in all_kernels()]
+        assert letters == list(string.ascii_uppercase[:19])
+
+    def test_names_unique(self):
+        names = [k.name for k in all_kernels()]
+        assert len(set(names)) == len(names)
+
+    def test_starred_benchmarks_match_paper(self):
+        starred = {k.name for k in all_kernels() if not k.sve_vectorized}
+        assert starred == {
+            "covariance", "mamr", "mamr-diag", "mamr-ind",
+            "seidel-2d", "floyd-warshall",
+        }
+
+    def test_stream_counts_within_isa_limit(self):
+        for kernel in all_kernels():
+            assert 1 <= kernel.n_streams <= 32
+
+    def test_domains_cover_the_papers_set(self):
+        domains = {k.domain for k in all_kernels()}
+        for expected in ("memory", "BLAS", "algebra", "stencil",
+                         "data mining", "n-body", "dynamic programming"):
+            assert expected in domains
+
+    def test_declared_stream_count_matches_uve_build(self):
+        """For single-configuration kernels, the number of streams the
+        UVE build actually configures equals the table's value."""
+        single_config = ("memcpy", "saxpy", "gemm", "mvt", "jacobi-2d",
+                        "irsmk", "knn", "haccmk", "seidel-2d", "trisolv")
+        for name in single_config:
+            kernel = get_kernel(name)
+            wl = kernel.workload(scale=0.25)
+            program = kernel.build("uve", wl)
+            sim = FunctionalSimulator(program, memory=wl.memory)
+            summary = sim.run()
+            configured = len(summary.streams)
+            assert configured == kernel.n_streams, (
+                f"{name}: table says {kernel.n_streams}, build configured "
+                f"{configured}"
+            )

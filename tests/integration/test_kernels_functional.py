@@ -1,0 +1,56 @@
+"""Integration: every kernel runs on every ISA and matches NumPy.
+
+This suite is generated from the registry, so new kernels are covered
+automatically.  It runs the *functional* simulator (fast) at a reduced
+scale plus the default scale for UVE.
+"""
+import pytest
+
+from repro.kernels import ISAS, all_kernels, get_kernel
+from repro.sim.functional import FunctionalSimulator
+
+KERNELS = [k.name for k in all_kernels()]
+
+
+def run_functional(kernel, isa, scale=0.25, seed=1):
+    wl = kernel.workload(seed=seed, scale=scale)
+    program = kernel.build(isa, wl)
+    sim = FunctionalSimulator(program, memory=wl.memory)
+    summary = sim.run()
+    wl.verify()
+    return summary
+
+
+@pytest.mark.parametrize("name", KERNELS)
+@pytest.mark.parametrize("isa", ISAS)
+def test_kernel_correct(name, isa):
+    run_functional(get_kernel(name), isa)
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_uve_commits_fewer_instructions_than_baselines(name):
+    kernel = get_kernel(name)
+    counts = {isa: run_functional(kernel, isa).committed for isa in ISAS}
+    assert counts["uve"] < counts["sve"]
+    assert counts["uve"] < counts["neon"]
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_odd_sizes_still_correct(name):
+    # A scale that produces ragged, non-vector-multiple dimensions.
+    kernel = get_kernel(name)
+    run_functional(kernel, "uve", scale=0.17, seed=3)
+    run_functional(kernel, "sve", scale=0.17, seed=3)
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_streams_all_disjoint_and_bounded(name):
+    kernel = get_kernel(name)
+    wl = kernel.workload(seed=0, scale=0.25)
+    program = kernel.build("uve", wl)
+    sim = FunctionalSimulator(program, memory=wl.memory)
+    summary = sim.run()
+    wl.verify()
+    assert summary.streams, "UVE build configured no streams"
+    for info in summary.streams.values():
+        assert info.ndims <= 8

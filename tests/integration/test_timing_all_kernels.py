@@ -1,0 +1,63 @@
+"""Timing-model integration: every kernel runs through the full
+functional+timing Simulator at reduced scale, with sanity invariants."""
+import pytest
+
+from repro.cpu.config import baseline_machine, uve_machine
+from repro.kernels import all_kernels, get_kernel
+from repro.sim.simulator import Simulator
+
+KERNELS = [k.name for k in all_kernels()]
+
+
+@pytest.fixture(scope="module")
+def timing_results():
+    results = {}
+    for name in KERNELS:
+        kernel = get_kernel(name)
+        for isa in ("uve", "sve"):
+            cfg = uve_machine() if isa == "uve" else baseline_machine()
+            wl = kernel.workload(seed=0, scale=0.2)
+            program = kernel.build(isa, wl, cfg.vector_bits)
+            result = Simulator(program, wl.memory, cfg).run()
+            wl.verify()
+            results[(name, isa)] = result
+    return results
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_timing_sane(timing_results, name):
+    for isa in ("uve", "sve"):
+        r = timing_results[(name, isa)]
+        assert 0 < r.cycles < 50_000_000
+        assert 0 < r.ipc <= 8.0
+        assert r.committed == r.summary.committed
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_uve_not_slower_than_baseline(timing_results, name):
+    # At reduced scale a couple of chain-bound kernels run close to par;
+    # UVE must never lose by more than a small margin and usually wins.
+    uve = timing_results[(name, "uve")]
+    sve = timing_results[(name, "sve")]
+    assert sve.cycles / uve.cycles > 0.85
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_engine_streams_fully_drained(timing_results, name):
+    engine = timing_results[(name, "uve")].pipeline.engine
+    assert engine is not None
+    assert not engine.stores_pending
+    for stream in engine.streams.values():
+        if stream.is_load and stream.num_chunks:
+            # every fetched chunk was consumed and committed
+            assert stream.commit_head <= stream.num_chunks
+
+
+def test_rename_blocks_bounded(timing_results):
+    for r in timing_results.values():
+        assert 0.0 <= r.rename_blocks_per_cycle <= 1.0
+
+
+def test_bus_utilization_bounded(timing_results):
+    for r in timing_results.values():
+        assert 0.0 <= r.bus_utilization <= 1.0

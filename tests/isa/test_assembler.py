@@ -1,0 +1,144 @@
+"""Unit tests for the UVE text assembler."""
+import numpy as np
+import pytest
+
+from repro.errors import AssemblerError, IsaError
+from repro.isa import uve_ops as uve
+from repro.isa import scalar_ops as sc
+from repro.isa.assembler import assemble
+from repro.memory.backing import Memory
+from repro.sim.functional import FunctionalSimulator
+
+SAXPY = """
+; paper Fig. 4 -- y = a*x + y
+    ss.ld.w     u0, {x}, {n}, 1
+    ss.ld.w     u1, {y}, {n}, 1
+    ss.st.w     u2, {y}, {n}, 1
+    fli         f0, 2.5
+    so.v.dup.fw u3, f0
+loop:
+    so.a.mul.fp u4, u3, u0
+    so.a.add.fp u2, u4, u1
+    so.b.nend   u0, loop
+    halt
+"""
+
+
+class TestAssembleSaxpy:
+    def test_runs_and_matches_numpy(self):
+        n = 100
+        rng = np.random.default_rng(0)
+        xs = rng.standard_normal(n).astype(np.float32)
+        ys = rng.standard_normal(n).astype(np.float32)
+        mem = Memory(1 << 20)
+        xa, ya = mem.alloc_array(xs), mem.alloc_array(ys)
+        program = assemble(SAXPY.format(x=xa // 4, y=ya // 4, n=n))
+        FunctionalSimulator(program, memory=mem).run()
+        np.testing.assert_allclose(
+            mem.ndarray(ya, (n,), np.float32), 2.5 * xs + ys, rtol=1e-6
+        )
+
+    def test_instruction_classes(self):
+        program = assemble(SAXPY.format(x=0, y=0, n=16))
+        kinds = [type(i).__name__ for i in program.instructions]
+        assert kinds == [
+            "SsConfig1D", "SsConfig1D", "SsConfig1D", "FLi", "SoDup",
+            "SoOp", "SoOp", "SoBranchEnd", "Halt",
+        ]
+
+    def test_labels_resolved(self):
+        program = assemble(SAXPY.format(x=0, y=0, n=16))
+        assert program.labels["loop"] == 5
+
+
+class TestMnemonics:
+    def _one(self, text):
+        # Wrap in a label-free single line and return the instruction.
+        program = assemble(text + "\n halt")
+        return program.instructions[0]
+
+    def test_stream_start_and_append(self):
+        inst = self._one("ss.ld.sta.w u0, 0, 8, 1")
+        assert isinstance(inst, uve.SsSta)
+        inst = self._one("ss.app u0, 0, 4, 16")
+        assert isinstance(inst, uve.SsApp) and not inst.last
+        inst = self._one("ss.end u0, 0, 4, 16")
+        assert isinstance(inst, uve.SsApp) and inst.last
+
+    def test_static_modifier(self):
+        inst = self._one("ss.end.mod u0, size, add, 1, 7")
+        assert isinstance(inst, uve.SsAppMod)
+        assert inst.displacement == 1 and inst.count == 7 and inst.last
+
+    def test_indirect_modifier(self):
+        inst = self._one("ss.end.ind u0, offset, set-add, u3")
+        assert isinstance(inst, uve.SsAppInd)
+
+    def test_mem_level_suffix(self):
+        from repro.streams.pattern import MemLevel
+        inst = self._one("ss.ld.w.mem3 u0, 0, 8, 1")
+        assert inst.mem_level is MemLevel.MEM
+
+    def test_width_suffixes(self):
+        from repro.common.types import ElementType
+        assert self._one("ss.ld.d u0, 0, 8, 1").etype is ElementType.F64
+        assert self._one("ss.ld.iw u0, 0, 8, 1").etype is ElementType.I32
+        assert self._one("ss.ld.id u0, 0, 8, 1").etype is ElementType.I64
+
+    def test_control(self):
+        assert isinstance(self._one("ss.suspend u5"), uve.SsCtl)
+        assert isinstance(self._one("ss.stop u5"), uve.SsCtl)
+        assert isinstance(self._one("ss.getvl x5"), uve.SoGetVl)
+        assert isinstance(self._one("ss.setvl x5, 8"), uve.SoSetVl)
+
+    def test_reductions_and_branches(self):
+        assert isinstance(self._one("so.r.max u1, u5"), uve.SoRed)
+        assert isinstance(self._one("so.r.add.sc f1, u5"), uve.SoRedScalar)
+        b = self._one("so.b.dim0c u0, done\ndone:")
+        assert isinstance(b, uve.SoBranchDim) and b.complete and b.dim == 0
+        b = self._one("so.b.dim1nc u0, done\ndone:")
+        assert not b.complete and b.dim == 1
+
+    def test_scalar_stream_interface(self):
+        assert isinstance(self._one("so.v.tosc f1, u3"), uve.SoScalarRead)
+        assert isinstance(self._one("so.v.fromsc u3, f1"), uve.SoScalarWrite)
+
+    def test_mac_variants(self):
+        assert isinstance(self._one("so.a.mac.fp u5, u0, u1"), uve.SoMac)
+        assert isinstance(self._one("so.a.mac.sc u5, u0, f1"), uve.SoMacScalar)
+        assert isinstance(self._one("so.a.sqrt.fp u5, u0"), uve.SoUnary)
+
+    def test_predicates(self):
+        assert isinstance(self._one("so.p.lt p1, u0, u1"), uve.SoPredComp)
+        assert isinstance(self._one("so.p.not p2, p1"), uve.SoPredNot)
+
+    def test_scalar_base(self):
+        assert isinstance(self._one("li x5, 42"), sc.Li)
+        assert isinstance(self._one("add x5, x5, 1"), sc.IntOp)
+        assert isinstance(self._one("bnez x5, out\nout:"), sc.BranchCmp)
+
+    def test_comments_and_blanks(self):
+        program = assemble("# comment only\n\n ; another\n halt\n")
+        assert len(program) == 1
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate u0, u1")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("halt\nbogus x0\n")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(IsaError, match="undefined label"):
+            assemble("so.b.nend u0, nowhere")
+
+    def test_bad_modifier_target(self):
+        with pytest.raises(AssemblerError, match="bad modifier"):
+            assemble("ss.end.mod u0, sizes, add, 1, 7")
+
+    def test_bad_width(self):
+        with pytest.raises(AssemblerError, match="suffix"):
+            assemble("ss.ld.q u0, 0, 8, 1")

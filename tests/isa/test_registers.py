@@ -1,0 +1,72 @@
+"""Unit tests for the register model and name parsing."""
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.registers import P0, Reg, RegClass, f, p, parse_reg, u, x
+
+
+class TestConstruction:
+    def test_banks_and_limits(self):
+        assert x(31).cls is RegClass.X
+        assert f(31).cls is RegClass.F
+        assert u(31).cls is RegClass.V
+        assert p(15).cls is RegClass.P
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IsaError):
+            x(32)
+        with pytest.raises(IsaError):
+            p(16)
+        with pytest.raises(IsaError):
+            u(-1)
+
+    def test_p0_is_predicate_zero(self):
+        assert P0 == p(0)
+
+    def test_str(self):
+        assert str(u(7)) == "u7"
+        assert str(x(0)) == "x0"
+
+
+class TestEqualityHash:
+    def test_equal_same_bank_index(self):
+        assert u(3) == u(3)
+        assert hash(u(3)) == hash(u(3))
+
+    def test_distinct_banks_not_equal(self):
+        assert x(3) != u(3)
+        assert f(3) != x(3)
+
+    def test_usable_as_dict_key(self):
+        table = {u(1): "a", x(1): "b"}
+        assert table[u(1)] == "a"
+        assert table[x(1)] == "b"
+
+    def test_non_reg_comparison(self):
+        assert u(1) != "u1"
+
+
+class TestParsing:
+    def test_basic_names(self):
+        assert parse_reg("u5") == u(5)
+        assert parse_reg("x12") == x(12)
+        assert parse_reg("f3") == f(3)
+        assert parse_reg("p2") == p(2)
+
+    def test_case_and_whitespace(self):
+        assert parse_reg(" U5 ") == u(5)
+
+    def test_riscv_abi_aliases(self):
+        assert parse_reg("a0") == x(10)
+        assert parse_reg("a3") == x(13)
+        assert parse_reg("fa0") == f(10)
+        assert parse_reg("t1") == x(6)
+
+    def test_sve_style_names(self):
+        assert parse_reg("z4") == u(4)  # SVE z-registers map to the
+        assert parse_reg("v4") == u(4)  # same vector bank as NEON v
+
+    def test_malformed_rejected(self):
+        for bad in ("", "q3", "u", "xx", "u3a"):
+            with pytest.raises(IsaError):
+                parse_reg(bad)

@@ -1,0 +1,82 @@
+"""Unit tests for the shared element-wise semantic layer."""
+import numpy as np
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import semantics
+from repro.isa.microop import OpClass
+
+
+class TestOperatorTables:
+    def test_binary_ops(self):
+        a = np.array([1.0, 2.0, -3.0], dtype=np.float32)
+        b = np.array([4.0, -5.0, 6.0], dtype=np.float32)
+        np.testing.assert_array_equal(semantics.binary("add")(a, b), a + b)
+        np.testing.assert_array_equal(semantics.binary("min")(a, b),
+                                      np.minimum(a, b))
+        np.testing.assert_array_equal(semantics.binary("max")(a, b),
+                                      np.maximum(a, b))
+
+    def test_integer_bitwise(self):
+        a = np.array([0b1100], dtype=np.int32)
+        b = np.array([0b1010], dtype=np.int32)
+        assert semantics.binary("and")(a, b)[0] == 0b1000
+        assert semantics.binary("or")(a, b)[0] == 0b1110
+        assert semantics.binary("xor")(a, b)[0] == 0b0110
+        assert semantics.binary("sll")(a, np.array([1]))[0] == 0b11000
+
+    def test_unary_ops(self):
+        a = np.array([4.0, 9.0], dtype=np.float32)
+        np.testing.assert_array_equal(semantics.unary("sqrt")(a),
+                                      np.sqrt(a))
+        np.testing.assert_array_equal(semantics.unary("neg")(a), -a)
+        np.testing.assert_array_equal(semantics.unary("mov")(a), a)
+
+    def test_reductions(self):
+        a = np.array([3.0, 1.0, 2.0])
+        assert semantics.reduce_fn("add")(a) == 6.0
+        assert semantics.reduce_fn("min")(a) == 1.0
+        assert semantics.reduce_fn("max")(a) == 3.0
+        assert semantics.reduce_fn("mul")(a) == 6.0
+
+    def test_comparisons(self):
+        a = np.array([1, 2, 3])
+        b = np.array([2, 2, 2])
+        np.testing.assert_array_equal(
+            semantics.compare("lt")(a, b), [True, False, False]
+        )
+        np.testing.assert_array_equal(
+            semantics.compare("ge")(a, b), [False, True, True]
+        )
+
+    def test_unknown_operators_rejected(self):
+        for fn in (semantics.binary, semantics.unary,
+                   semantics.reduce_fn, semantics.compare):
+            with pytest.raises(IsaError):
+                fn("frobnicate")
+
+
+class TestOpClassMapping:
+    def test_vector_classes(self):
+        assert semantics.vector_opclass("add") is OpClass.VEC_ALU
+        assert semantics.vector_opclass("mul") is OpClass.VEC_MUL
+        assert semantics.vector_opclass("div") is OpClass.VEC_DIV
+
+    def test_scalar_classes(self):
+        assert semantics.scalar_fp_opclass("add") is OpClass.FP_ALU
+        assert semantics.scalar_fp_opclass("mul") is OpClass.FP_MUL
+        assert semantics.scalar_int_opclass("mul") is OpClass.INT_MUL
+        assert semantics.scalar_int_opclass("add") is OpClass.INT_ALU
+
+    def test_cluster_routing(self):
+        from repro.isa.microop import FuCluster
+        assert OpClass.VEC_MAC.cluster is FuCluster.FP
+        assert OpClass.LOAD.cluster is FuCluster.MEM
+        assert OpClass.BRANCH.cluster is FuCluster.INT
+        assert OpClass.STREAM_CFG.cluster is FuCluster.NONE
+
+    def test_mem_flags(self):
+        assert OpClass.GATHER.is_load and OpClass.GATHER.is_mem
+        assert OpClass.SCATTER.is_store
+        assert not OpClass.VEC_ALU.is_mem
+        assert OpClass.VEC_LOAD.is_vector

@@ -1,0 +1,194 @@
+"""Unit tests for UVE instruction semantics (streaming compute, branches,
+reductions, predication) against hand-built machine states."""
+import numpy as np
+import pytest
+
+from repro.common.types import ElementType
+from repro.errors import IsaError
+from repro.isa import f, p, u, x
+from repro.isa import uve_ops as uve
+from repro.isa.vector import from_list, full
+from repro.memory.backing import Memory
+from repro.sim.functional import MachineState
+from repro.streams.pattern import Direction, MemLevel
+
+F32 = ElementType.F32
+
+
+def state_with_stream(values, index=0, direction=Direction.LOAD):
+    mem = Memory(1 << 20)
+    arr = np.asarray(values, dtype=np.float32)
+    addr = mem.alloc_array(arr)
+    state = MachineState(memory=mem)
+    state.stream_begin(index, direction, F32, MemLevel.L2)
+    state.stream_dim(index, addr // 4, len(arr), 1)
+    state.stream_finish(index)
+    return state, addr
+
+
+class TestSoOp:
+    def test_consumes_stream_once_per_instruction(self):
+        state, _ = state_with_stream(np.arange(32))
+        state.write_v(u(3), full(16, F32, 10.0), F32)
+        uve.SoOp("add", u(4), u(3), u(0), etype=F32).execute(state)
+        got = state.read_v(u(4), F32)
+        np.testing.assert_array_equal(got.data, 10.0 + np.arange(16))
+        # Second op consumes the next chunk.
+        uve.SoOp("add", u(4), u(3), u(0), etype=F32).execute(state)
+        got = state.read_v(u(4), F32)
+        np.testing.assert_array_equal(got.data, 10.0 + np.arange(16, 32))
+
+    def test_same_stream_twice_consumes_once(self):
+        state, _ = state_with_stream(np.arange(16))
+        uve.SoOp("add", u(4), u(0), u(0), etype=F32).execute(state)
+        got = state.read_v(u(4), F32)
+        np.testing.assert_array_equal(got.data, 2.0 * np.arange(16))
+        assert state.stream_ended(0)
+
+    def test_padding_lanes_merge(self):
+        # 5-element stream vs a full register: the padded lanes pass the
+        # full register's values through (engine-disabled lanes act as a
+        # false predicate).
+        state, _ = state_with_stream(np.arange(5))
+        state.write_v(u(3), full(16, F32, 50.0), F32)
+        uve.SoOp("max", u(4), u(3), u(0), etype=F32).execute(state)
+        got = state.read_v(u(4), F32)
+        np.testing.assert_array_equal(got.data[:5], [50.0] * 5)
+        np.testing.assert_array_equal(got.data[5:], [50.0] * 11)
+        assert got.valid.all()
+
+    def test_register_interface_updated_on_consume(self):
+        # Reading a stream loads the data into the register itself.
+        state, _ = state_with_stream(np.arange(16))
+        state.write_v(u(3), full(16, F32, 0.0), F32)
+        uve.SoOp("add", u(4), u(3), u(0), etype=F32).execute(state)
+        reg = state.read_v(u(0), F32)
+        np.testing.assert_array_equal(reg.data, np.arange(16))
+
+
+class TestSoMac:
+    def test_accumulates(self):
+        state, _ = state_with_stream(np.arange(16))
+        state.write_v(u(5), full(16, F32, 1.0), F32)
+        state.write_v(u(3), full(16, F32, 2.0), F32)
+        uve.SoMac(u(5), u(3), u(0), etype=F32).execute(state)
+        got = state.read_v(u(5), F32)
+        np.testing.assert_array_equal(got.data, 1.0 + 2.0 * np.arange(16))
+
+    def test_stream_destination_rejected(self):
+        state, _ = state_with_stream(np.zeros(16), direction=Direction.STORE)
+        with pytest.raises(IsaError, match="read and write"):
+            uve.SoMac(u(0), u(1), u(2), etype=F32).execute(state)
+
+    def test_mac_scalar(self):
+        state, _ = state_with_stream(np.arange(16))
+        state.write_v(u(5), full(16, F32, 1.0), F32)
+        state.write_f(f(1), 3.0)
+        uve.SoMacScalar(u(5), u(0), f(1), etype=F32).execute(state)
+        got = state.read_v(u(5), F32)
+        np.testing.assert_array_equal(got.data, 1.0 + 3.0 * np.arange(16))
+
+
+class TestReductionsAndScalarInterface:
+    def test_red_to_output_stream_writes_one_element(self):
+        state, addr = state_with_stream(
+            np.zeros(4), index=1, direction=Direction.STORE
+        )
+        state.write_v(u(5), from_list([3.0, 9.0, 1.0], F32, 16), F32)
+        uve.SoRed("max", u(1), u(5), etype=F32).execute(state)
+        assert state.mem.read_scalar(addr, F32) == 9.0
+
+    def test_red_to_register_writes_lane_zero(self):
+        state, _ = state_with_stream(np.arange(16))
+        state.write_v(u(5), from_list([3.0, 9.0, 1.0], F32, 16), F32)
+        uve.SoRed("add", u(6), u(5), etype=F32).execute(state)
+        got = state.read_v(u(6), F32)
+        assert got.data[0] == 13.0
+        assert got.valid[0] and not got.valid[1:].any()
+
+    def test_red_scalar_register(self):
+        state, _ = state_with_stream(np.arange(16))
+        uve.SoRedScalar("add", f(2), u(0), etype=F32).execute(state)
+        assert state.read_f(f(2)) == sum(range(16))
+
+    def test_unary_sqrt_on_stream(self):
+        state, _ = state_with_stream([4.0, 9.0, 16.0])
+        uve.SoUnary("sqrt", u(5), u(0), etype=F32).execute(state)
+        got = state.read_v(u(5), F32)
+        np.testing.assert_allclose(got.data[:3], [2.0, 3.0, 4.0])
+
+
+class TestBranches:
+    def test_nend_until_stream_end(self):
+        state, _ = state_with_stream(np.arange(32))
+        branch = uve.SoBranchEnd(u(0), "loop", negate=True)
+        state.read_operand(u(0), F32)
+        assert branch.execute(state) == "loop"
+        state.read_operand(u(0), F32)
+        assert branch.execute(state) is None  # ended
+
+    def test_end_branch_polarity(self):
+        state, _ = state_with_stream(np.arange(16))
+        branch = uve.SoBranchEnd(u(0), "out", negate=False)
+        state.read_operand(u(0), F32)
+        assert branch.execute(state) == "out"
+
+    def test_dim_branch_on_2d_rows(self):
+        mem = Memory(1 << 20)
+        addr = mem.alloc_array(np.arange(40, dtype=np.float32))
+        state = MachineState(memory=mem)
+        state.stream_begin(0, Direction.LOAD, F32, MemLevel.L2)
+        state.stream_dim(0, addr // 4, 20, 1)  # rows of 20
+        state.stream_dim(0, 0, 2, 20)
+        state.stream_finish(0)
+        complete = uve.SoBranchDim(u(0), 0, "next", complete=True)
+        state.read_operand(u(0), F32)  # 16 of 20: row not complete
+        assert complete.execute(state) is None
+        state.read_operand(u(0), F32)  # remaining 4: row complete
+        assert complete.execute(state) == "next"
+
+
+class TestPredication:
+    def test_pred_compare_and_not(self):
+        state, _ = state_with_stream(np.arange(16))
+        state.write_v(u(3), full(16, F32, 8.0), F32)
+        uve.SoPredComp("lt", p(1), u(0), u(3), etype=F32).execute(state)
+        mask = state.read_pred(p(1), 16)
+        assert mask[:8].all() and not mask[8:].any()
+        uve.SoPredNot(p(2), p(1), etype=F32).execute(state)
+        mask2 = state.read_pred(p(2), 16)
+        assert not mask2[:8].any() and mask2[8:].all()
+
+    def test_predicated_soop_masks_lanes(self):
+        state, _ = state_with_stream(np.arange(16))
+        state.write_pred(p(1), np.array([True] * 4 + [False] * 12))
+        state.write_v(u(3), full(16, F32, 1.0), F32)
+        inst = uve.SoOp("add", u(4), u(3), u(0), etype=F32, pred=p(1))
+        inst.execute(state)
+        got = state.read_v(u(4), F32)
+        assert got.valid[:4].all() and not got.valid[4:].any()
+
+
+class TestVlControl:
+    def test_getvl_and_setvl(self):
+        state = MachineState()
+        uve.SoGetVl(x(1), etype=F32).execute(state)
+        assert state.read_x(x(1)) == 16
+        uve.SoSetVl(x(2), 4, etype=F32).execute(state)
+        assert state.read_x(x(2)) == 4
+        uve.SoGetVl(x(3), etype=F32).execute(state)
+        assert state.read_x(x(3)) == 4
+
+    def test_legacy_vector_load_store(self):
+        mem = Memory(1 << 20)
+        src = mem.alloc_array(np.arange(16, dtype=np.float32))
+        dst = mem.alloc_array(np.zeros(16, dtype=np.float32))
+        state = MachineState(memory=mem)
+        state.write_x(x(1), src)
+        state.write_x(x(2), dst)
+        uve.SsLoadVec(u(1), x(1), etype=F32).execute(state)
+        assert state.read_x(x(1)) == src + 64  # post-increment
+        uve.SsStoreVec(u(1), x(2), etype=F32).execute(state)
+        np.testing.assert_array_equal(
+            mem.ndarray(dst, (16,), np.float32), np.arange(16)
+        )

@@ -1,0 +1,54 @@
+"""Unit tests for VecValue helpers and the SlotReservoir internals."""
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa.vector import VecValue, from_list, full, zeros
+from repro.memory.slots import SlotReservoir
+
+F32 = ElementType.F32
+
+
+class TestVecValue:
+    def test_zeros_all_invalid(self):
+        v = zeros(8, F32)
+        assert v.lanes == 8
+        assert v.valid_count == 0
+        assert not v.data.any()
+
+    def test_full_all_valid(self):
+        v = full(8, F32, 2.5)
+        assert v.valid_count == 8
+        np.testing.assert_array_equal(v.data, [2.5] * 8)
+
+    def test_from_list_partial(self):
+        v = from_list([1, 2, 3], F32, 8)
+        assert v.valid_count == 3
+        np.testing.assert_array_equal(v.active(), [1.0, 2.0, 3.0])
+        assert not v.valid[3:].any()
+
+    def test_dtype_follows_etype(self):
+        v = full(4, ElementType.I64, 7)
+        assert v.data.dtype == np.int64
+
+
+class TestSlotReservoirPruning:
+    def test_ledger_is_pruned(self):
+        res = SlotReservoir(1, 1.0)
+        for i in range(20_000):
+            res.reserve(float(i * 10))
+        # Old slots were dropped; the ledger stays bounded.
+        assert len(res._busy) < 20_000
+
+    def test_occupancy_introspection(self):
+        res = SlotReservoir(2, 1.0)
+        res.reserve(5.0)
+        res.reserve(5.0)
+        assert res.occupancy(5.0) == 2
+        assert res.occupancy(6.0) == 0
+
+    def test_rejects_bad_parameters(self):
+        import pytest
+        with pytest.raises(ValueError):
+            SlotReservoir(0, 1.0)
+        with pytest.raises(ValueError):
+            SlotReservoir(1, 0.0)

@@ -1,0 +1,75 @@
+"""Unit tests for the DRAM bandwidth/latency model."""
+from repro.cpu.config import DramConfig
+from repro.memory.dram import Dram
+
+
+def make_dram(**kw):
+    return Dram(DramConfig(**kw))
+
+
+class TestLatency:
+    def test_read_latency(self):
+        d = make_dram()
+        done = d.access(0, now=0, is_write=False)
+        cfg = d.config
+        assert done == cfg.access_latency + cfg.line_transfer_cycles
+
+    def test_write_is_posted(self):
+        d = make_dram()
+        done = d.access(0, now=0, is_write=True)
+        assert done == d.config.line_transfer_cycles
+
+    def test_later_now_shifts_completion(self):
+        base = make_dram().access(0, 0, False)
+        assert make_dram().access(0, 100, False) == 100 + base
+
+
+class TestChannelContention:
+    def test_same_channel_serializes(self):
+        d = make_dram(channels=2)
+        first = d.access(0, 0, False)
+        second = d.access(2, 0, False)  # line 2 -> same channel as line 0
+        assert second == first + d.config.line_transfer_cycles
+
+    def test_different_channels_overlap(self):
+        d = make_dram(channels=2)
+        first = d.access(0, 0, False)
+        second = d.access(1, 0, False)  # other channel
+        assert second == first
+
+    def test_channel_mapping_interleaves_lines(self):
+        d = make_dram(channels=2)
+        assert d.channel_of(0) != d.channel_of(1)
+        assert d.channel_of(0) == d.channel_of(2)
+
+
+class TestStats:
+    def test_bytes_accounted(self):
+        d = make_dram()
+        d.access(0, 0, False)
+        d.access(1, 0, True)
+        assert d.bytes_read == 64
+        assert d.bytes_written == 64
+        assert d.total_bytes == 128
+
+    def test_bus_utilization(self):
+        d = make_dram()
+        for i in range(10):
+            d.access(i, 0, False)
+        cycles = 1000
+        expected = 640 / (d.config.peak_bytes_per_cycle * cycles)
+        assert abs(d.bus_utilization(cycles) - expected) < 1e-12
+
+    def test_full_utilization_is_one(self):
+        d = make_dram(channels=1)
+        t = 0.0
+        for i in range(100):
+            t = max(t, d.access(2 * i, t, is_write=True))
+        # Back-to-back writes keep the single channel 100% busy.
+        assert abs(d.bus_utilization(t) - 1.0) < 1e-9
+
+    def test_reset(self):
+        d = make_dram()
+        d.access(0, 0, False)
+        d.reset_stats()
+        assert d.total_bytes == 0 and d.reads == 0

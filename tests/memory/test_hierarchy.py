@@ -1,0 +1,78 @@
+"""Unit tests for the memory hierarchy wiring and stream bypass paths."""
+from repro.cpu.config import MachineConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.streams.pattern import MemLevel
+
+
+def make_hierarchy():
+    return MemoryHierarchy(MachineConfig())
+
+
+class TestDemandPath:
+    def test_cold_demand_miss_walks_to_dram(self):
+        h = make_hierarchy()
+        done = h.demand_access(0x10000, now=0, is_write=False)
+        assert done > h.config.dram.access_latency  # L1+L2 miss + DRAM
+        assert h.dram.reads == 1
+
+    def test_warm_l2_shortens_latency(self):
+        h = make_hierarchy()
+        h.warm(0x10000, 64)
+        done = h.demand_access(0x10000, now=100, is_write=False)
+        assert done - 100 < 40  # L1 miss, L2 hit
+        assert h.dram.reads == 0
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        first = h.demand_access(0x10000, 0, False)
+        second = h.demand_access(0x10000, first, False)
+        assert second - first <= h.config.l1d.hit_latency + 1
+
+
+class TestStreamPath:
+    def test_l2_stream_bypasses_l1(self):
+        h = make_hierarchy()
+        h.warm(0x20000, 64)
+        line = h.line_of(0x20000)
+        h.stream_read(line, 0, MemLevel.L2)
+        assert h.l1d.stats.bypasses == 1
+        assert not h.l1d.contains(line)  # no L1 allocation
+        assert h.l2.stats.hits == 1
+
+    def test_l1_stream_allocates_in_l1(self):
+        h = make_hierarchy()
+        h.warm(0x20000, 64)
+        line = h.line_of(0x20000)
+        h.stream_read(line, 0, MemLevel.L1)
+        assert h.l1d.contains(line)
+
+    def test_mem_stream_bypasses_both(self):
+        h = make_hierarchy()
+        h.warm(0x20000, 64)
+        line = h.line_of(0x20000)
+        h.stream_read(line, 0, MemLevel.MEM)
+        assert h.dram.reads == 1  # straight to memory
+        assert not h.l1d.contains(line)
+
+    def test_stream_write_goes_to_l1(self):
+        h = make_hierarchy()
+        line = h.line_of(0x30000)
+        h.stream_write(line, 0, MemLevel.L2)
+        assert h.l1d.contains(line)
+
+    def test_lines_of_dedupes_in_order(self):
+        h = make_hierarchy()
+        addrs = [0, 4, 8, 64, 68, 0]  # lines 0,0,0,1,1,0
+        assert h.lines_of(addrs) == [0, 1]
+
+
+class TestWarm:
+    def test_warm_fills_l2_up_to_capacity(self):
+        h = make_hierarchy()
+        h.warm(0, 512 * 1024)  # 2x the L2
+        lines = sum(len(s) for s in h.l2._sets)
+        assert lines == h.config.l2.size_bytes // 64  # full, not over
+
+    def test_utilization_starts_at_zero(self):
+        h = make_hierarchy()
+        assert h.bus_utilization(1000) == 0.0

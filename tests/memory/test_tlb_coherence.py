@@ -1,0 +1,95 @@
+"""Unit tests for the TLB and the MOESI coherence protocol."""
+import pytest
+
+from repro.errors import PageFaultError
+from repro.memory.coherence import CoherenceError, Event, LineState, next_state
+from repro.memory.tlb import Tlb
+
+
+class TestTlb:
+    def test_first_access_misses_then_hits(self):
+        tlb = Tlb(walk_latency=20)
+        assert tlb.translate(0x1234) == 20
+        assert tlb.translate(0x1238) == 0
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_distinct_pages_miss(self):
+        tlb = Tlb()
+        tlb.translate(0)
+        assert tlb.translate(4096) == tlb.walk_latency
+
+    def test_capacity_lru_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.translate(0)
+        tlb.translate(4096)
+        tlb.translate(0)  # refresh page 0
+        tlb.translate(8192)  # evicts page 1
+        assert tlb.translate(0) == 0
+        assert tlb.translate(4096) == tlb.walk_latency
+
+    def test_page_fault_raises(self):
+        tlb = Tlb(is_mapped=lambda page: page < 10)
+        with pytest.raises(PageFaultError):
+            tlb.translate(11 * 4096)
+        assert tlb.faults == 1
+
+    def test_probe_does_not_fault(self):
+        tlb = Tlb(is_mapped=lambda page: page < 10)
+        assert tlb.probe(4096) is True
+        assert tlb.probe(11 * 4096) is False
+
+    def test_flush(self):
+        tlb = Tlb()
+        tlb.translate(0)
+        tlb.flush()
+        assert tlb.translate(0) == tlb.walk_latency
+
+
+class TestMoesi:
+    def test_load_from_invalid_allocates_exclusive(self):
+        state, supplies, wb = next_state(LineState.INVALID, Event.LOAD)
+        assert state is LineState.EXCLUSIVE and not supplies and not wb
+
+    def test_store_from_invalid_allocates_modified(self):
+        state, _, __ = next_state(LineState.INVALID, Event.STORE)
+        assert state is LineState.MODIFIED
+
+    def test_store_upgrades_exclusive(self):
+        state, _, __ = next_state(LineState.EXCLUSIVE, Event.STORE)
+        assert state is LineState.MODIFIED
+
+    def test_modified_evict_writes_back(self):
+        state, _, wb = next_state(LineState.MODIFIED, Event.EVICT)
+        assert state is LineState.INVALID and wb
+
+    def test_owned_evict_writes_back(self):
+        _, __, wb = next_state(LineState.OWNED, Event.EVICT)
+        assert wb
+
+    def test_shared_evict_is_silent(self):
+        _, __, wb = next_state(LineState.SHARED, Event.EVICT)
+        assert not wb
+
+    def test_snoop_read_of_modified_gives_owned_and_data(self):
+        state, supplies, _ = next_state(LineState.MODIFIED, Event.BUS_READ)
+        assert state is LineState.OWNED and supplies
+
+    def test_snoop_rdx_invalidates(self):
+        for start in (LineState.MODIFIED, LineState.OWNED, LineState.EXCLUSIVE,
+                      LineState.SHARED):
+            state, _, __ = next_state(start, Event.BUS_RDX)
+            assert state is LineState.INVALID
+
+    def test_upgrade_invalidates_shared(self):
+        state, _, __ = next_state(LineState.SHARED, Event.BUS_UPGRADE)
+        assert state is LineState.INVALID
+
+    def test_illegal_transition_raises(self):
+        with pytest.raises(CoherenceError):
+            next_state(LineState.MODIFIED, Event.BUS_UPGRADE)
+
+    def test_state_properties(self):
+        assert LineState.MODIFIED.dirty and LineState.OWNED.dirty
+        assert not LineState.SHARED.dirty
+        assert LineState.EXCLUSIVE.writable and not LineState.SHARED.writable
+        assert not LineState.INVALID.valid

@@ -1,0 +1,69 @@
+"""Tests for stream context save/restore (paper §IV-A Context Switching)."""
+import numpy as np
+
+from repro.common.types import ElementType
+from repro.isa import u
+from repro.memory.backing import Memory
+from repro.sim.functional import MachineState
+from repro.streams.pattern import Direction, MemLevel
+
+F32 = ElementType.F32
+
+
+def make_state(n=64):
+    mem = Memory(1 << 20)
+    addr = mem.alloc_array(np.arange(n, dtype=np.float32))
+    state = MachineState(memory=mem)
+    state.stream_begin(0, Direction.LOAD, F32, MemLevel.L2)
+    state.stream_dim(0, addr // 4, n, 1)
+    state.stream_finish(0)
+    return state, addr
+
+
+class TestContextSwitch:
+    def test_save_suspends_all_streams(self):
+        state, _ = make_state()
+        context = state.save_stream_context()
+        assert len(context) == 1
+        assert not state.is_stream(0)  # suspended
+
+    def test_restore_resumes_from_commit_point(self):
+        state, _ = make_state()
+        first = state.read_operand(u(0), F32)  # elements 0..15
+        context = state.save_stream_context()
+        state.restore_stream_context(context)
+        second = state.read_operand(u(0), F32)
+        assert second.data[0] == 16.0  # continues where it left off
+
+    def test_context_size_within_paper_bounds(self):
+        state, _ = make_state()
+        context = state.save_stream_context()
+        # Paper: 32 B (1-D) up to 400 B (8-D + 7 modifiers) per stream.
+        assert 32 <= context[0]["bytes"] <= 400
+
+    def test_restore_into_fresh_state(self):
+        # Simulate an OS-level switch: state is discarded and rebuilt.
+        state, addr = make_state()
+        state.read_operand(u(0), F32)
+        state.read_operand(u(0), F32)  # 32 elements consumed
+        context = state.save_stream_context()
+
+        fresh = MachineState(memory=state.mem)
+        fresh.restore_stream_context(context)
+        value = fresh.read_operand(u(0), F32)
+        assert value.data[0] == 32.0
+
+    def test_restored_stream_ends_correctly(self):
+        state, _ = make_state(n=32)
+        state.read_operand(u(0), F32)
+        context = state.save_stream_context()
+        state.restore_stream_context(context)
+        state.read_operand(u(0), F32)
+        assert state.stream_ended(0)
+
+    def test_restored_stream_gets_fresh_uid(self):
+        state, _ = make_state()
+        context = state.save_stream_context()
+        before = set(state.stream_infos)
+        state.restore_stream_context(context)
+        assert len(state.stream_infos) == len(before) + 1

@@ -1,0 +1,180 @@
+"""End-to-end functional tests: the paper's saxpy kernel (Fig. 1 / Fig. 4)
+hand-coded in UVE, SVE-like and NEON-like form, verified against NumPy."""
+import numpy as np
+import pytest
+
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, p, u, x
+from repro.isa import neon_ops as neon
+from repro.isa import scalar_ops as sc
+from repro.isa import sve_ops as sve
+from repro.isa import uve_ops as uve
+from repro.memory.backing import Memory
+from repro.sim.functional import FunctionalSimulator
+from repro.streams.pattern import Direction
+
+F32 = ElementType.F32
+
+
+def make_workload(n, seed=0):
+    rng = np.random.default_rng(seed)
+    xs = rng.standard_normal(n).astype(np.float32)
+    ys = rng.standard_normal(n).astype(np.float32)
+    a = np.float32(2.5)
+    return xs, ys, a
+
+
+def build_uve_saxpy(x_addr, y_addr, n, a):
+    """Fig. 4: three stream configs, dup, then a 3-instruction loop."""
+    b = ProgramBuilder("saxpy-uve")
+    b.emit(
+        uve.SsConfig1D(u(0), Direction.LOAD, x_addr // 4, n, 1, etype=F32),
+        uve.SsConfig1D(u(1), Direction.LOAD, y_addr // 4, n, 1, etype=F32),
+        uve.SsConfig1D(u(2), Direction.STORE, y_addr // 4, n, 1, etype=F32),
+        sc.FLi(f(0), float(a)),
+        uve.SoDup(u(3), f(0), etype=F32),
+    )
+    b.label("loop")
+    b.emit(
+        uve.SoOp("mul", u(4), u(3), u(0), etype=F32),
+        uve.SoOp("add", u(2), u(4), u(1), etype=F32),
+        uve.SoBranchEnd(u(0), "loop", negate=True),
+    )
+    b.emit(sc.Halt())
+    return b.build()
+
+
+def build_sve_saxpy(x_addr, y_addr, n, a):
+    """Fig. 1.B shape: whilelt/ld1/ld1/fmla/st1/incw/whilelt/b.first."""
+    b = ProgramBuilder("saxpy-sve")
+    b.emit(
+        sc.Li(x(3), n),
+        sc.Li(x(8), x_addr),
+        sc.Li(x(9), y_addr),
+        sc.Li(x(4), 0),
+        sve.WhileLt(p(1), x(4), x(3), etype=F32),
+        sc.FLi(f(0), float(a)),
+        sve.Dup(u(0), f(0), etype=F32),
+    )
+    b.label("loop")
+    b.emit(
+        sve.Ld1(u(1), p(1), x(8), index=x(4), etype=F32),
+        sve.Ld1(u(2), p(1), x(9), index=x(4), etype=F32),
+        sve.Fmla(u(2), p(1), u(1), u(0), etype=F32),
+        sve.St1(u(2), p(1), x(9), index=x(4), etype=F32),
+        sve.IncElems(x(4), etype=F32),
+        sve.WhileLt(p(1), x(4), x(3), etype=F32),
+        sve.BranchPred("first", p(1), "loop", etype=F32),
+    )
+    b.emit(sc.Halt())
+    return b.build()
+
+
+def build_neon_saxpy(x_addr, y_addr, n, a):
+    """NEON: fixed 128-bit body plus scalar tail loop."""
+    lanes = 4
+    b = ProgramBuilder("saxpy-neon")
+    b.emit(
+        sc.Li(x(3), n - n % lanes),
+        sc.Li(x(8), x_addr),
+        sc.Li(x(9), y_addr),
+        sc.Li(x(4), 0),
+        sc.FLi(f(0), float(a)),
+        neon.NVDup(u(0), f(0), etype=F32),
+        sc.BranchCmp("ge", x(4), x(3), "tail"),
+    )
+    b.label("loop")
+    b.emit(
+        neon.NVLoad(u(1), x(8), etype=F32, post_inc=True),
+        neon.NVLoad(u(2), x(9), etype=F32),
+        neon.NVFma(u(2), u(1), u(0), etype=F32),
+        neon.NVStore(u(2), x(9), etype=F32, post_inc=True),
+        sc.IntOp("add", x(4), x(4), lanes),
+        sc.BranchCmp("lt", x(4), x(3), "loop"),
+    )
+    b.label("tail")
+    b.emit(sc.Li(x(5), n), sc.BranchCmp("ge", x(4), x(5), "done"))
+    b.label("tail_loop")
+    b.emit(
+        sc.Load(f(1), x(8), 0, etype=F32),
+        sc.Load(f(2), x(9), 0, etype=F32),
+        sc.FMac(f(2), f(1), f(0)),
+        sc.Store(f(2), x(9), 0, etype=F32),
+        sc.IntOp("add", x(8), x(8), 4),
+        sc.IntOp("add", x(9), x(9), 4),
+        sc.IntOp("add", x(4), x(4), 1),
+        sc.BranchCmp("lt", x(4), x(5), "tail_loop"),
+    )
+    b.label("done")
+    b.emit(sc.Halt())
+    return b.build()
+
+
+@pytest.mark.parametrize("n", [16, 33, 64, 5, 1])
+class TestSaxpyAllIsas:
+    def _run(self, build, n):
+        xs, ys, a = make_workload(n)
+        mem = Memory(1 << 20)
+        x_addr = mem.alloc_array(xs)
+        y_addr = mem.alloc_array(ys)
+        program = build(x_addr, y_addr, n, a)
+        sim = FunctionalSimulator(program, memory=mem)
+        summary = sim.run()
+        result = mem.ndarray(y_addr, (n,), np.float32)
+        np.testing.assert_allclose(result, a * xs + ys, rtol=1e-6)
+        return summary
+
+    def test_uve(self, n):
+        self._run(build_uve_saxpy, n)
+
+    def test_sve(self, n):
+        self._run(build_sve_saxpy, n)
+
+    def test_neon(self, n):
+        self._run(build_neon_saxpy, n)
+
+
+class TestInstructionCounts:
+    """The paper's headline code-reduction effect must be visible."""
+
+    def _committed(self, build, n=256):
+        xs, ys, a = make_workload(n)
+        mem = Memory(1 << 20)
+        x_addr = mem.alloc_array(xs)
+        y_addr = mem.alloc_array(ys)
+        sim = FunctionalSimulator(build(x_addr, y_addr, n, a), memory=mem)
+        return sim.run().committed
+
+    def test_uve_executes_far_fewer_instructions(self):
+        uve_count = self._committed(build_uve_saxpy)
+        sve_count = self._committed(build_sve_saxpy)
+        neon_count = self._committed(build_neon_saxpy)
+        assert uve_count < 0.5 * sve_count
+        assert uve_count < 0.15 * neon_count
+        assert sve_count < neon_count
+
+    def test_uve_loop_is_three_instructions_per_vector(self):
+        n = 256
+        lanes = 16  # 512-bit f32
+        count = self._committed(build_uve_saxpy, n)
+        # preamble (6 incl. halt) + 3 per vector iteration
+        assert count == 6 + 3 * (n // lanes)
+
+
+class TestUveStreamTrace:
+    def test_stream_chunks_recorded(self):
+        n = 40
+        xs, ys, a = make_workload(n)
+        mem = Memory(1 << 20)
+        x_addr = mem.alloc_array(xs)
+        y_addr = mem.alloc_array(ys)
+        sim = FunctionalSimulator(build_uve_saxpy(x_addr, y_addr, n, a), memory=mem)
+        summary = sim.run()
+        assert len(summary.streams) == 3
+        loads = [s for s in summary.streams.values() if s.is_load]
+        stores = [s for s in summary.streams.values() if not s.is_load]
+        assert len(loads) == 2 and len(stores) == 1
+        for info in summary.streams.values():
+            assert info.total_elements() == n
+            # 40 f32 at 16 lanes -> chunks of 16, 16, 8
+            assert [len(c) for c in info.chunks] == [16, 16, 8]

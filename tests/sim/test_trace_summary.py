@@ -1,0 +1,62 @@
+"""Unit tests for the dynamic-trace structures."""
+from repro.common.types import ElementType
+from repro.isa import ProgramBuilder, f, x
+from repro.isa import scalar_ops as sc
+from repro.isa.microop import OpClass
+from repro.memory.backing import Memory
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.trace import StreamTraceInfo
+from repro.streams.pattern import Direction, MemLevel
+
+
+class TestTraceSummary:
+    def _summary(self):
+        b = ProgramBuilder("t")
+        b.emit(sc.Li(x(1), 0), sc.Li(x(2), 5))
+        b.label("loop")
+        b.emit(
+            sc.FOp("add", f(1), f(1), 1.0),
+            sc.IntOp("add", x(1), x(1), 1),
+            sc.BranchCmp("lt", x(1), x(2), "loop"),
+            sc.Halt(),
+        )
+        sim = FunctionalSimulator(b.build())
+        return sim.run()
+
+    def test_committed_counts(self):
+        summary = self._summary()
+        assert summary.committed == 2 + 5 * 3 + 1
+
+    def test_by_class_breakdown(self):
+        summary = self._summary()
+        assert summary.by_class[OpClass.FP_ALU] == 5
+        assert summary.by_class[OpClass.BRANCH] == 5
+        assert summary.by_class[OpClass.HALT] == 1
+
+    def test_branch_statistics(self):
+        summary = self._summary()
+        assert summary.branches == 5
+        assert summary.taken_branches == 4  # last iteration falls through
+
+    def test_vector_ops_zero_for_scalar_code(self):
+        assert self._summary().vector_ops == 0
+
+
+class TestStreamTraceInfo:
+    def test_total_elements(self):
+        info = StreamTraceInfo(
+            uid=0, reg=3, direction=Direction.LOAD,
+            etype=ElementType.F32, mem_level=MemLevel.L2,
+            ndims=2, storage_bytes=48,
+        )
+        info.chunks = [[0, 4, 8], [12, 16]]
+        assert info.total_elements() == 5
+        assert info.is_load
+
+    def test_store_direction(self):
+        info = StreamTraceInfo(
+            uid=1, reg=2, direction=Direction.STORE,
+            etype=ElementType.F32, mem_level=MemLevel.L1,
+            ndims=1, storage_bytes=32,
+        )
+        assert not info.is_load

@@ -1,0 +1,119 @@
+"""Unit tests for the pattern builder helpers (Fig. 3 recipes)."""
+import pytest
+
+from repro.common.types import ElementType
+from repro.errors import DescriptorError
+from repro.streams import (
+    Direction,
+    MemLevel,
+    StreamIterator,
+    indirect,
+    linear,
+    lower_triangular,
+    rectangular,
+    repeated,
+)
+
+
+def elems(pattern, reader=None):
+    return [a // pattern.etype.width
+            for a in StreamIterator(pattern, reader).addresses()]
+
+
+class TestLinearBuilder:
+    def test_direction_and_level_propagate(self):
+        pattern = linear(0, 4, direction=Direction.STORE,
+                         mem_level=MemLevel.MEM)
+        assert pattern.is_store
+        assert pattern.mem_level is MemLevel.MEM
+
+    def test_etype_scales_addresses(self):
+        pattern = linear(10, 2, etype=ElementType.F64)
+        assert StreamIterator(pattern).addresses() == [80, 88]
+
+    def test_ndims(self):
+        assert linear(0, 4).ndims == 1
+
+
+class TestRectangularBuilder:
+    def test_default_row_stride_is_cols(self):
+        assert elems(rectangular(0, 2, 3)) == [0, 1, 2, 3, 4, 5]
+
+    def test_col_stride(self):
+        assert elems(rectangular(0, 2, 2, col_stride=3, row_stride=10)) == [
+            0, 3, 10, 13,
+        ]
+
+    def test_count(self):
+        assert rectangular(0, 5, 7).static_element_count() == 35
+
+
+class TestRepeatedBuilder:
+    def test_repeats_whole_pattern(self):
+        base = rectangular(0, 2, 2)
+        assert elems(repeated(base, 3)) == [0, 1, 2, 3] * 3
+
+    def test_preserves_metadata(self):
+        base = linear(0, 4, direction=Direction.STORE,
+                      mem_level=MemLevel.L1, etype=ElementType.F64)
+        wrapped = repeated(base, 2)
+        assert wrapped.direction is Direction.STORE
+        assert wrapped.mem_level is MemLevel.L1
+        assert wrapped.etype is ElementType.F64
+
+    def test_respects_dimension_limit(self):
+        pattern = linear(0, 2)
+        for _ in range(7):
+            pattern = repeated(pattern, 2)
+        with pytest.raises(DescriptorError):
+            repeated(pattern, 2)  # would be the ninth dimension
+
+
+class TestTriangularBuilder:
+    def test_upper_bound_rows(self):
+        pattern = lower_triangular(0, rows=5, row_stride=8)
+        got = elems(pattern)
+        expect = [r * 8 + c for r in range(5) for c in range(r + 1)]
+        assert got == expect
+
+    def test_element_count_is_triangle_number(self):
+        pattern = lower_triangular(0, rows=6, row_stride=6)
+        assert len(elems(pattern)) == 6 * 7 // 2
+
+    def test_modifier_accounting(self):
+        pattern = lower_triangular(0, rows=4, row_stride=4)
+        assert pattern.nmodifiers == 1
+        assert pattern.static_element_count() is None  # needs iteration
+
+
+class TestIndirectBuilder:
+    def _reader(self, table):
+        import numpy as np
+        data = np.asarray(table, dtype=np.int32)
+
+        def read(addr, etype):
+            return int(data[addr // 4])
+
+        return read
+
+    def test_gather_semantics(self):
+        idx = [2, 0, 1]
+        pattern = indirect(
+            base=100, index_pattern=linear(0, 3, etype=ElementType.I32)
+        )
+        assert elems(pattern, self._reader(idx)) == [102, 100, 101]
+
+    def test_inner_runs(self):
+        idx = [10, 0]
+        pattern = indirect(
+            base=0, index_pattern=linear(0, 2, etype=ElementType.I32),
+            inner_size=2, inner_stride=1,
+        )
+        assert elems(pattern, self._reader(idx)) == [10, 11, 0, 1]
+
+    def test_has_indirection_flag(self):
+        pattern = indirect(
+            base=0, index_pattern=linear(0, 2, etype=ElementType.I32)
+        )
+        assert pattern.has_indirection
+        assert not linear(0, 2).has_indirection

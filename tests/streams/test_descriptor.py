@@ -1,0 +1,72 @@
+"""Unit tests for descriptors and modifiers."""
+import pytest
+
+from repro.errors import DescriptorError
+from repro.streams import (
+    Descriptor,
+    IndirectModifier,
+    Param,
+    StaticModifier,
+    linear,
+)
+from repro.streams.descriptor import IndirectBehavior, StaticBehavior
+
+
+class TestDescriptor:
+    def test_fields(self):
+        d = Descriptor(offset=100, size=8, stride=2)
+        assert (d.offset, d.size, d.stride) == (100, 8, 2)
+
+    def test_zero_size_allowed(self):
+        assert Descriptor(0, 0, 1).size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DescriptorError):
+            Descriptor(0, -1, 1)
+
+    def test_negative_stride_allowed(self):
+        # Reverse scans are legal access patterns.
+        assert Descriptor(10, 4, -1).stride == -1
+
+    def test_frozen(self):
+        d = Descriptor(0, 1, 1)
+        with pytest.raises(AttributeError):
+            d.size = 5
+
+
+class TestStaticModifier:
+    def test_add_applies_displacement(self):
+        m = StaticModifier(Param.SIZE, StaticBehavior.ADD, 3, count=2)
+        assert m.apply(10, applications=0) == 13
+
+    def test_sub_applies_displacement(self):
+        m = StaticModifier(Param.OFFSET, StaticBehavior.SUB, 4, count=5)
+        assert m.apply(10, applications=1) == 6
+
+    def test_exhausted_count_is_identity(self):
+        m = StaticModifier(Param.SIZE, StaticBehavior.ADD, 3, count=2)
+        assert m.apply(10, applications=2) == 10
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DescriptorError):
+            StaticModifier(Param.SIZE, StaticBehavior.ADD, 1, count=-1)
+
+
+class TestIndirectModifier:
+    def _mod(self, behavior):
+        return IndirectModifier(Param.OFFSET, behavior, linear(0, 4))
+
+    def test_set_add(self):
+        assert self._mod(IndirectBehavior.SET_ADD).apply(100, 7) == 107
+
+    def test_set_sub(self):
+        assert self._mod(IndirectBehavior.SET_SUB).apply(100, 7) == 93
+
+    def test_set_value(self):
+        assert self._mod(IndirectBehavior.SET_VALUE).apply(100, 7) == 7
+
+    def test_not_cumulative(self):
+        # set-add always recomputes from the configured value.
+        m = self._mod(IndirectBehavior.SET_ADD)
+        assert m.apply(100, 7) == 107
+        assert m.apply(100, 7) == 107

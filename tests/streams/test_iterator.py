@@ -1,0 +1,331 @@
+"""Unit tests for stream iteration over the Fig. 3 example patterns."""
+import numpy as np
+import pytest
+
+from repro.common.types import ElementType
+from repro.errors import DescriptorError, StreamError
+from repro.streams import (
+    Descriptor,
+    IndirectModifier,
+    Level,
+    Param,
+    StaticModifier,
+    StreamIterator,
+    StreamPattern,
+    VectorChunker,
+    indirect,
+    linear,
+    lower_triangular,
+    rectangular,
+    repeated,
+)
+from repro.streams.descriptor import IndirectBehavior, StaticBehavior
+
+W = ElementType.F32.width  # 4 bytes
+
+
+def elem_addrs(pattern, read_element=None):
+    return [a // pattern.etype.width for a in StreamIterator(pattern, read_element).addresses()]
+
+
+class TestLinear:
+    def test_fig3_b1_linear(self):
+        # for i in range(N): A[i]
+        pattern = linear(base=10, size=5)
+        assert elem_addrs(pattern) == [10, 11, 12, 13, 14]
+
+    def test_byte_addresses_scale_by_width(self):
+        pattern = linear(base=10, size=2, etype=ElementType.F64)
+        assert StreamIterator(pattern).addresses() == [80, 88]
+
+    def test_strided(self):
+        pattern = linear(base=0, size=4, stride=3)
+        assert elem_addrs(pattern) == [0, 3, 6, 9]
+
+    def test_reverse(self):
+        pattern = linear(base=9, size=4, stride=-2)
+        assert elem_addrs(pattern) == [9, 7, 5, 3]
+
+    def test_end_flag_only_on_last(self):
+        pattern = linear(base=0, size=3)
+        flags = [e.dims_ended for e in StreamIterator(pattern).materialize()]
+        assert flags == [-1, -1, 0]
+
+    def test_empty(self):
+        assert elem_addrs(linear(base=0, size=0)) == []
+
+
+class TestRectangular:
+    def test_fig3_b2_dense_matrix(self):
+        # for i in range(Nr): for j in range(Nc): A[i*Nc + j]
+        pattern = rectangular(base=100, rows=3, cols=4)
+        expect = [100 + i * 4 + j for i in range(3) for j in range(4)]
+        assert elem_addrs(pattern) == expect
+
+    def test_fig3_b3_scattered(self):
+        # for i in range(0, Nr, 2): for j in range(0, d, 2): A[i*Nc + j]
+        nc, nr, d = 8, 4, 6
+        pattern = StreamPattern(
+            levels=[
+                Level(Descriptor(0, d // 2, 2)),
+                Level(Descriptor(0, nr // 2, 2 * nc)),
+            ]
+        )
+        expect = [i * nc + j for i in range(0, nr, 2) for j in range(0, d, 2)]
+        assert elem_addrs(pattern) == expect
+
+    def test_dim_end_flags(self):
+        pattern = rectangular(base=0, rows=2, cols=2)
+        flags = [e.dims_ended for e in StreamIterator(pattern).materialize()]
+        # end-of-row (dim0) after each row, end-of-stream (dim1) at the last.
+        assert flags == [-1, 0, -1, 1]
+
+    def test_submatrix_row_stride(self):
+        pattern = rectangular(base=0, rows=2, cols=3, row_stride=10)
+        assert elem_addrs(pattern) == [0, 1, 2, 10, 11, 12]
+
+
+class TestRepeated:
+    def test_zero_stride_outer_repeats(self):
+        pattern = repeated(linear(base=5, size=3), times=2)
+        assert elem_addrs(pattern) == [5, 6, 7, 5, 6, 7]
+
+    def test_flags_promote_to_outer(self):
+        pattern = repeated(linear(base=0, size=2), times=2)
+        flags = [e.dims_ended for e in StreamIterator(pattern).materialize()]
+        assert flags == [-1, 0, -1, 1]
+
+
+class TestLowerTriangular:
+    def test_fig3_b4(self):
+        # Row i covers elements A[i*Nc .. i*Nc+i].
+        nc, nr = 5, 4
+        pattern = lower_triangular(base=0, rows=nr, row_stride=nc)
+        expect = [i * nc + j for i in range(nr) for j in range(i + 1)]
+        assert elem_addrs(pattern) == expect
+
+    def test_explicit_encoding_matches_paper(self):
+        # D0:{&A, 0, 1}; D1:{0, Nr, Nc}; Modifier {Size, Add, 1, Nr}.
+        nc, nr = 5, 4
+        pattern = StreamPattern(
+            levels=[
+                Level(Descriptor(0, 0, 1)),
+                Level(
+                    Descriptor(0, nr, nc),
+                    [StaticModifier(Param.SIZE, StaticBehavior.ADD, 1, nr)],
+                ),
+            ]
+        )
+        expect = [i * nc + j for i in range(nr) for j in range(i + 1)]
+        assert elem_addrs(pattern) == expect
+
+    def test_modifier_resets_on_outer_restart(self):
+        # Repeat a triangular scan twice: sizes must restart from 1.
+        nc, nr = 4, 3
+        pattern = repeated(lower_triangular(base=0, rows=nr, row_stride=nc), 2)
+        one = [i * nc + j for i in range(nr) for j in range(i + 1)]
+        assert elem_addrs(pattern) == one + one
+
+    def test_growth_two(self):
+        pattern = lower_triangular(base=0, rows=3, row_stride=10, growth=2, first_row_size=2)
+        expect = [0, 1, 10, 11, 12, 13, 20, 21, 22, 23, 24, 25]
+        assert elem_addrs(pattern) == expect
+
+    def test_modifier_count_limits_applications(self):
+        # Growth stops after two applications: sizes 1, 2, 2, 2.
+        pattern = StreamPattern(
+            levels=[
+                Level(Descriptor(0, 0, 1)),
+                Level(
+                    Descriptor(0, 4, 10),
+                    [StaticModifier(Param.SIZE, StaticBehavior.ADD, 1, 2)],
+                ),
+            ]
+        )
+        sizes = [1, 2, 2, 2]
+        expect = [i * 10 + j for i in range(4) for j in range(sizes[i])]
+        assert elem_addrs(pattern) == expect
+
+    def test_offset_modifier_diagonal(self):
+        # Walk the diagonal: offset grows by Nc+1 per row, one element each.
+        nc = 5
+        pattern = StreamPattern(
+            levels=[
+                Level(Descriptor(-(nc + 1), 1, 1)),
+                Level(
+                    Descriptor(0, 4, 0),
+                    [StaticModifier(Param.OFFSET, StaticBehavior.ADD, nc + 1, 4)],
+                ),
+            ]
+        )
+        assert elem_addrs(pattern) == [0, 6, 12, 18]
+
+
+class TestIndirect:
+    def _memory_reader(self, table):
+        data = np.asarray(table, dtype=np.int32)
+
+        def read(addr_bytes, etype):
+            assert etype is ElementType.I32
+            return int(data[addr_bytes // etype.width])
+
+        return read
+
+    def test_fig3_b5_gather(self):
+        # for i in range(Nc): B[A[i]]
+        idx = [3, 0, 2, 7]
+        index_pattern = linear(base=0, size=4, etype=ElementType.I32)
+        pattern = indirect(base=100, index_pattern=index_pattern)
+        reader = self._memory_reader(idx)
+        assert elem_addrs(pattern, reader) == [103, 100, 102, 107]
+
+    def test_indirect_row_gather(self):
+        # A[B[i]*Nc + j] rows of length 3 selected by an index vector.
+        idx = [2, 0]
+        nc = 10
+        index_pattern = StreamPattern(
+            levels=[Level(Descriptor(0, 2, 1))], etype=ElementType.I32
+        )
+        # Scale the origin values by configuring the row start at base and
+        # using set-add of idx*Nc via a pre-scaled index table.
+        scaled = [v * nc for v in idx]
+        pattern = indirect(base=0, index_pattern=index_pattern, inner_size=3)
+        reader = self._memory_reader(scaled)
+        assert elem_addrs(pattern, reader) == [20, 21, 22, 0, 1, 2]
+
+    def test_lone_indirect_flags(self):
+        idx = [1, 5]
+        pattern = indirect(
+            base=0, index_pattern=linear(base=0, size=2, etype=ElementType.I32)
+        )
+        reader = self._memory_reader(idx)
+        flags = [e.dims_ended for e in StreamIterator(pattern, reader).materialize()]
+        assert flags == [0, 1]
+
+    def test_indirect_requires_reader(self):
+        pattern = indirect(
+            base=0, index_pattern=linear(base=0, size=2, etype=ElementType.I32)
+        )
+        with pytest.raises(DescriptorError):
+            StreamIterator(pattern)
+
+    def test_paired_indirect_with_descriptor_trip_count(self):
+        # Descriptor provides the trip count; origin feeds offsets.
+        idx = [4, 9, 1]
+        origin = linear(base=0, size=3, etype=ElementType.I32)
+        pattern = StreamPattern(
+            levels=[
+                Level(Descriptor(0, 1, 1)),
+                Level(
+                    Descriptor(0, 3, 0),
+                    [IndirectModifier(Param.OFFSET, IndirectBehavior.SET_ADD, origin)],
+                ),
+            ]
+        )
+        reader = self._memory_reader(idx)
+        assert elem_addrs(pattern, reader) == [4, 9, 1]
+
+    def test_origin_exhaustion_raises(self):
+        idx = [4]
+        origin = linear(base=0, size=1, etype=ElementType.I32)
+        pattern = StreamPattern(
+            levels=[
+                Level(Descriptor(0, 1, 1)),
+                Level(
+                    Descriptor(0, 3, 0),
+                    [IndirectModifier(Param.OFFSET, IndirectBehavior.SET_ADD, origin)],
+                ),
+            ]
+        )
+        with pytest.raises(StreamError):
+            StreamIterator(pattern, self._memory_reader(idx)).materialize()
+
+
+class TestPatternValidation:
+    def test_max_dims_enforced(self):
+        levels = [Level(Descriptor(0, 1, 1)) for _ in range(9)]
+        with pytest.raises(DescriptorError):
+            StreamPattern(levels=levels)
+
+    def test_eight_dims_supported(self):
+        levels = [Level(Descriptor(0, 2, 1)) for _ in range(8)]
+        assert StreamPattern(levels=levels).static_element_count() == 2 ** 8
+
+    def test_max_modifiers_enforced(self):
+        mods = [StaticModifier(Param.SIZE, StaticBehavior.ADD, 1, 1)] * 8
+        with pytest.raises(DescriptorError):
+            StreamPattern(
+                levels=[
+                    Level(Descriptor(0, 1, 1)),
+                    Level(Descriptor(0, 1, 1), mods),
+                ]
+            )
+
+    def test_dim0_must_have_descriptor(self):
+        with pytest.raises(DescriptorError):
+            StreamPattern(
+                levels=[
+                    Level(
+                        None,
+                        [
+                            IndirectModifier(
+                                Param.OFFSET,
+                                IndirectBehavior.SET_ADD,
+                                linear(0, 1, etype=ElementType.I32),
+                            )
+                        ],
+                    )
+                ]
+            )
+
+    def test_dim0_cannot_carry_modifiers(self):
+        with pytest.raises(DescriptorError):
+            StreamPattern(
+                levels=[
+                    Level(
+                        Descriptor(0, 1, 1),
+                        [StaticModifier(Param.SIZE, StaticBehavior.ADD, 1, 1)],
+                    )
+                ]
+            )
+
+    def test_storage_bytes_1d(self):
+        assert linear(0, 8).storage_bytes() == 32  # paper: 32 B for 1-D state
+
+    def test_storage_bytes_max_pattern(self):
+        mods = [StaticModifier(Param.SIZE, StaticBehavior.ADD, 1, 1)] * 7
+        levels = [Level(Descriptor(0, 1, 1)) for _ in range(7)]
+        levels.append(Level(Descriptor(0, 1, 1), mods))
+        pattern = StreamPattern(levels=levels)
+        # 8 dims + 7 modifiers: within the paper's <=400 B context bound.
+        assert pattern.storage_bytes() <= 400
+
+
+class TestVectorChunker:
+    def test_chunks_of_vector_length(self):
+        pattern = linear(base=0, size=10)
+        chunks = list(VectorChunker(StreamIterator(pattern), lanes=4))
+        assert [len(c.addresses) for c in chunks] == [4, 4, 2]
+        assert [c.dims_ended for c in chunks] == [-1, -1, 0]
+
+    def test_chunks_break_at_dim0_boundary(self):
+        # Rows of 3 with 4 lanes: every chunk is one (padded) row.
+        pattern = rectangular(base=0, rows=2, cols=3)
+        chunks = list(VectorChunker(StreamIterator(pattern), lanes=4))
+        assert [len(c.addresses) for c in chunks] == [3, 3]
+        assert [c.dims_ended for c in chunks] == [0, 1]
+
+    def test_long_rows_split(self):
+        pattern = rectangular(base=0, rows=2, cols=5)
+        chunks = list(VectorChunker(StreamIterator(pattern), lanes=4))
+        assert [len(c.addresses) for c in chunks] == [4, 1, 4, 1]
+
+    def test_exact_multiple_rows(self):
+        pattern = rectangular(base=0, rows=2, cols=4)
+        chunks = list(VectorChunker(StreamIterator(pattern), lanes=4))
+        assert [len(c.addresses) for c in chunks] == [4, 4]
+        assert [c.dims_ended for c in chunks] == [0, 1]
+
+    def test_invalid_lanes(self):
+        with pytest.raises(DescriptorError):
+            VectorChunker(StreamIterator(linear(0, 1)), lanes=0)

@@ -1,26 +1,50 @@
 """Experiment harness: regenerates every table and figure of the paper."""
-from typing import Callable, Dict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
 
 from repro.harness import extensions, fig8, overheads, sensitivity
 from repro.harness.report import ExperimentResult
-from repro.harness.runner import Runner, RunRecord
+from repro.harness.runner import Runner, RunRecord, RunSpec
 
-#: experiment id -> callable(runner) -> ExperimentResult
-EXPERIMENTS: Dict[str, Callable] = {
-    "table1": overheads.table1,
-    "fig8-table": fig8.benchmark_table,
-    "fig8a": fig8.instruction_reduction,
-    "fig8b": fig8.speedup,
-    "fig8c": fig8.rename_blocks,
-    "fig8d": fig8.bus_utilization,
-    "fig8e": fig8.unrolling,
-    "fig9": sensitivity.vector_registers,
-    "fig10": sensitivity.fifo_depth,
-    "fig11": sensitivity.stream_cache_level,
-    "overheads": overheads.storage_overheads,
-    "ext-rvv": extensions.rvv_comparison,
-    "ext-vl": extensions.vector_length_sweep,
-    "ext-shared-fifo": extensions.shared_fifo,
+
+def _no_specs(runner: Runner) -> List[RunSpec]:
+    return []
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: the table builder plus the up-front
+    declaration of every simulation it needs, so the campaign executor
+    can interleave runs of different figures in one pool."""
+
+    build: Callable[[Runner], ExperimentResult]
+    specs: Callable[[Runner], List[RunSpec]] = field(default=_no_specs)
+
+    def __call__(self, runner: Runner) -> ExperimentResult:
+        return self.build(runner)
+
+
+#: experiment id -> Experiment (callable(runner) -> ExperimentResult)
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table1": Experiment(overheads.table1),
+    "fig8-table": Experiment(fig8.benchmark_table),
+    "fig8a": Experiment(fig8.instruction_reduction, fig8.comparison_specs),
+    "fig8b": Experiment(fig8.speedup, fig8.comparison_specs),
+    "fig8c": Experiment(fig8.rename_blocks, fig8.comparison_specs),
+    "fig8d": Experiment(fig8.bus_utilization, fig8.comparison_specs),
+    "fig8e": Experiment(fig8.unrolling, fig8.unrolling_specs),
+    "fig9": Experiment(sensitivity.vector_registers,
+                       sensitivity.vector_registers_specs),
+    "fig10": Experiment(sensitivity.fifo_depth, sensitivity.fifo_depth_specs),
+    "fig11": Experiment(sensitivity.stream_cache_level,
+                        sensitivity.stream_cache_level_specs),
+    "overheads": Experiment(overheads.storage_overheads),
+    "ext-rvv": Experiment(extensions.rvv_comparison,
+                          extensions.rvv_comparison_specs),
+    "ext-vl": Experiment(extensions.vector_length_sweep,
+                         extensions.vector_length_sweep_specs),
+    "ext-shared-fifo": Experiment(extensions.shared_fifo,
+                                  extensions.shared_fifo_specs),
 }
 
 
@@ -32,8 +56,10 @@ def run_experiment(name: str, runner: Runner = None) -> ExperimentResult:
 
 __all__ = [
     "EXPERIMENTS",
+    "Experiment",
     "ExperimentResult",
     "RunRecord",
+    "RunSpec",
     "Runner",
     "run_experiment",
 ]

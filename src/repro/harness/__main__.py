@@ -5,15 +5,51 @@ Usage::
     python -m repro.harness                 # everything, full scale
     python -m repro.harness fig8b fig9      # selected experiments
     python -m repro.harness --scale 0.5     # smaller workloads (faster)
+    python -m repro.harness --jobs 8        # parallel campaign
+    python -m repro.harness --no-cache      # ignore the on-disk cache
+
+Results persist in a content-addressed cache (``~/.cache/repro`` or
+``--cache-dir``), so a re-run only simulates what changed.
 """
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 
-from repro.harness import EXPERIMENTS, Runner, run_experiment
+from repro.harness import EXPERIMENTS
+from repro.harness.diskcache import ResultCache
+from repro.harness.executor import CampaignExecutor, stderr_progress
+
+
+class IncrementalJsonWriter:
+    """Rewrites the results JSON atomically after every experiment, so a
+    crash in experiment N never loses experiments 1..N-1."""
+
+    def __init__(self, path: str, scale: float, seed: int) -> None:
+        self.path = path
+        self.payload = {"scale": scale, "seed": seed, "experiments": []}
+
+    def append(self, result) -> None:
+        self.payload["experiments"].append(result.to_dict())
+        self.flush()
+
+    def flush(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self.payload, handle, indent=2)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
 
 def main(argv=None) -> int:
@@ -27,43 +63,96 @@ def main(argv=None) -> int:
         default=[],
         help=f"experiment ids (default: all of {', '.join(EXPERIMENTS)})",
     )
-    parser.add_argument("--scale", type=float, default=1.0,
+    parser.add_argument("--scale", type=float, default=None,
                         help="workload scale factor (default 1.0)")
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed (default 0)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel simulation processes "
+                             "(default: os.cpu_count())")
     parser.add_argument("--json", metavar="PATH", default="",
-                        help="also write all results as JSON")
+                        help="also write all results as JSON "
+                             "(updated atomically after each experiment)")
+    parser.add_argument("--cache-dir", metavar="DIR", default="",
+                        help="persistent result cache location "
+                             "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the on-disk cache")
+    parser.add_argument("--trace", metavar="PATH", default="",
+                        help="write a JSON log of per-run timing/cache "
+                             "events")
     parser.add_argument("--check", metavar="RESULTS_JSON", default="",
                         help="validate a previously exported campaign "
                              "against the paper's shapes and exit")
     args = parser.parse_args(argv)
 
     if args.check:
+        conflicting = [
+            flag
+            for flag, present in (
+                ("experiments", bool(args.experiments)),
+                ("--scale", args.scale is not None),
+                ("--seed", args.seed is not None),
+                ("--jobs", args.jobs is not None),
+                ("--json", bool(args.json)),
+                ("--cache-dir", bool(args.cache_dir)),
+                ("--no-cache", args.no_cache),
+                ("--trace", bool(args.trace)),
+            )
+            if present
+        ]
+        if conflicting:
+            parser.error(
+                "--check validates an existing results file and takes no "
+                f"campaign arguments (got: {', '.join(conflicting)})"
+            )
         from repro.harness.checks import validate_results
         report = validate_results(args.check)
         print(report.render())
         return 0 if report.ok else 1
+
+    scale = 1.0 if args.scale is None else args.scale
+    seed = 0 if args.seed is None else args.seed
 
     names = args.experiments or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
 
-    runner = Runner(scale=args.scale, seed=args.seed)
-    collected = []
-    for name in names:
-        start = time.time()
-        result = run_experiment(name, runner)
-        collected.append(result)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or None)
+    executor = CampaignExecutor(
+        scale=scale, seed=seed, jobs=args.jobs, cache=cache,
+        progress=stderr_progress,
+    )
+    writer = IncrementalJsonWriter(args.json, scale, seed) if args.json \
+        else None
+
+    start = time.time()
+
+    def on_result(result) -> None:
         print(result.render())
-        print(f"  [{time.time() - start:.1f}s]\n")
-    if args.json:
-        payload = {
-            "scale": args.scale,
-            "seed": args.seed,
-            "experiments": [r.to_dict() for r in collected],
-        }
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
+        print()
+        if writer is not None:
+            writer.append(result)
+
+    executor.run_campaign(names, on_result=on_result)
+
+    counts = executor.cache_summary()
+    print(
+        f"campaign: {counts['total']} runs in {time.time() - start:.1f}s "
+        f"({counts['miss']} simulated, {counts['hit-disk']} from disk "
+        f"cache, {counts['hit-memory']} from memory; jobs="
+        f"{executor.jobs})",
+        file=sys.stderr,
+    )
+    if counts["miss"]:
+        print(executor.slowest_table().render(), file=sys.stderr)
+    if args.trace:
+        executor.write_trace(args.trace)
+        print(f"wrote trace {args.trace}", file=sys.stderr)
+    if writer is not None:
         print(f"wrote {args.json}")
     return 0
 

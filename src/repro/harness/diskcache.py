@@ -1,0 +1,112 @@
+"""Persistent, content-addressed result cache for campaign runs.
+
+Records live under ``~/.cache/repro`` (or ``--cache-dir``) as one JSON
+file per run, addressed by the run fingerprint mixed with a code-version
+salt — a hash of the simulator sources — so editing the simulator
+invalidates every cached result while harness-only changes keep them.
+Corrupted or schema-incompatible entries degrade to cache misses and are
+overwritten on the next store.
+"""
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.harness.runner import RunRecord
+
+#: schema version of the stored record payload; bump on RunRecord changes.
+CACHE_FORMAT = 1
+
+_SALT_CACHE: dict = {}
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def code_version_salt() -> str:
+    """Hash of the simulator sources (everything under ``repro`` except
+    the harness itself, whose changes cannot alter simulation results)."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    cached = _SALT_CACHE.get(root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if rel.parts and rel.parts[0] == "harness":
+            continue
+        digest.update(str(rel).encode())
+        digest.update(path.read_bytes())
+    salt = digest.hexdigest()
+    _SALT_CACHE[root] = salt
+    return salt
+
+
+class ResultCache:
+    """On-disk cache of :class:`RunRecord` results, keyed by fingerprint."""
+
+    def __init__(
+        self, root: Optional[Path] = None, salt: Optional[str] = None
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.salt = salt if salt is not None else code_version_salt()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        addressed = hashlib.sha256(
+            f"{CACHE_FORMAT}:{self.salt}:{key}".encode()
+        ).hexdigest()
+        return self.root / addressed[:2] / f"{addressed}.json"
+
+    def load(self, key: str) -> Optional[RunRecord]:
+        """Return the cached record for ``key``, or None on any miss —
+        including unreadable, corrupted, or schema-incompatible entries."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            record = RunRecord(**payload["record"])
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, key: str, record: RunRecord) -> None:
+        """Atomically persist ``record`` (temp file + rename), so readers
+        never observe a half-written entry.  Best-effort: an unwritable
+        cache degrades to a slower campaign, never a failed one."""
+        path = self._path(key)
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "record": dataclasses.asdict(record),
+        }
+        tmp = ""
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=path.stem, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except OSError:
+            if tmp:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass

@@ -1,0 +1,225 @@
+"""Parallel, cache-persistent campaign executor.
+
+The campaign for the full paper (19 kernels × 3–4 ISAs × the Fig. 9/10/11
+sweeps) used to run serially, figure by figure.  The executor instead:
+
+1. collects every figure's declared :class:`~repro.harness.runner.RunSpec`
+   up front and deduplicates them by content fingerprint, so independent
+   runs of *different* figures interleave in one pool;
+2. satisfies what it can from the on-disk
+   :class:`~repro.harness.diskcache.ResultCache`, so a re-run only
+   simulates what changed;
+3. fans the remaining specs out over a
+   :class:`concurrent.futures.ProcessPoolExecutor` (``--jobs N``), each
+   worker rebuilding ``Runner`` state from the picklable spec;
+4. finally builds every experiment table serially from the warm
+   in-process cache — so ``--jobs 4`` output is byte-identical to
+   ``--jobs 1``.
+
+Every run emits a structured progress line (cache status, wall time,
+worker id, remaining queue depth); ``--trace PATH`` additionally persists
+the event log as JSON, and :meth:`CampaignExecutor.slowest` feeds the
+campaign-end table of slowest runs.
+"""
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.harness.report import ExperimentResult
+from repro.harness.runner import Runner, RunSpec
+
+
+@dataclass
+class RunEvent:
+    """Observability record for one campaign run."""
+
+    kernel: str
+    isa: str
+    unroll: int
+    key: str
+    status: str  # "hit-memory" | "hit-disk" | "miss"
+    wall_s: float
+    worker: int
+    queue_depth: int
+
+    @property
+    def label(self) -> str:
+        tag = f"{self.kernel}/{self.isa}"
+        if self.unroll:
+            tag += f"/unroll{self.unroll}"
+        return tag
+
+
+def _execute_spec(spec: RunSpec, scale: float, seed: int):
+    """Pool worker: rebuild a Runner from the picklable spec and run it."""
+    start = time.perf_counter()
+    runner = Runner(scale=scale, seed=seed)
+    record = runner.run_spec(spec)
+    return record, time.perf_counter() - start, os.getpid()
+
+
+class CampaignExecutor:
+    """Runs a set of experiments through one shared, parallel run pool."""
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        jobs: Optional[int] = None,
+        cache=None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
+        self.cache = cache
+        self.runner = Runner(scale=scale, seed=seed, disk_cache=cache)
+        self.progress = progress
+        self.events: List[RunEvent] = []
+
+    # -- Spec collection -----------------------------------------------------
+
+    def collect_specs(self, names: List[str]) -> Dict[str, RunSpec]:
+        """Every experiment's declared runs, deduplicated by fingerprint
+        (insertion order preserved, so execution order is deterministic)."""
+        from repro.harness import EXPERIMENTS
+
+        specs: Dict[str, RunSpec] = {}
+        for name in names:
+            for spec in EXPERIMENTS[name].specs(self.runner):
+                specs.setdefault(spec.key(self.scale, self.seed), spec)
+        return specs
+
+    # -- Execution -----------------------------------------------------------
+
+    def prefetch(self, names: List[str]) -> None:
+        """Warm the in-process cache for every declared run: disk cache
+        first, then the process pool for the misses."""
+        specs = self.collect_specs(names)
+        pending: Dict[str, RunSpec] = {}
+        for key, spec in specs.items():
+            if self.runner.cached(key) is not None:
+                self._emit(spec, key, "hit-memory", 0.0, os.getpid(),
+                           len(pending))
+                continue
+            record = self.cache.load(key) if self.cache else None
+            if record is not None:
+                self.runner.seed_cache(key, record)
+                self._emit(spec, key, "hit-disk", 0.0, os.getpid(),
+                           len(pending))
+            else:
+                pending[key] = spec
+        if not pending:
+            return
+        if self.jobs == 1:
+            self._run_serial(pending)
+        else:
+            self._run_pool(pending)
+
+    def _finish(self, key, spec, record, wall, worker, remaining) -> None:
+        self.runner.seed_cache(key, record)
+        if self.cache is not None:
+            self.cache.store(key, record)
+        self._emit(spec, key, "miss", wall, worker, remaining)
+
+    def _run_serial(self, pending: Dict[str, RunSpec]) -> None:
+        remaining = len(pending)
+        for key, spec in pending.items():
+            record, wall, worker = _execute_spec(spec, self.scale, self.seed)
+            remaining -= 1
+            self._finish(key, spec, record, wall, worker, remaining)
+
+    def _run_pool(self, pending: Dict[str, RunSpec]) -> None:
+        remaining = len(pending)
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(_execute_spec, spec, self.scale, self.seed):
+                    (key, spec)
+                for key, spec in pending.items()
+            }
+            for future in as_completed(futures):
+                key, spec = futures[future]
+                record, wall, worker = future.result()
+                remaining -= 1
+                self._finish(key, spec, record, wall, worker, remaining)
+
+    def run_campaign(
+        self,
+        names: List[str],
+        on_result: Optional[Callable[[ExperimentResult], None]] = None,
+    ) -> List[ExperimentResult]:
+        """Prefetch every declared run, then build each experiment table
+        from the warm cache, invoking ``on_result`` as each completes."""
+        from repro.harness import EXPERIMENTS
+
+        self.prefetch(names)
+        results = []
+        for name in names:
+            result = EXPERIMENTS[name].build(self.runner)
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        return results
+
+    # -- Observability -------------------------------------------------------
+
+    def _emit(self, spec, key, status, wall, worker, queue_depth) -> None:
+        event = RunEvent(
+            kernel=spec.kernel, isa=spec.isa, unroll=spec.unroll,
+            key=key, status=status, wall_s=wall, worker=worker,
+            queue_depth=queue_depth,
+        )
+        self.events.append(event)
+        if self.progress is not None:
+            self.progress(
+                f"[run] {event.status:<10} {event.label:<28} "
+                f"{event.wall_s:6.2f}s  worker {event.worker}  "
+                f"queue {event.queue_depth}"
+            )
+
+    def cache_summary(self) -> Dict[str, int]:
+        counts = {"hit-memory": 0, "hit-disk": 0, "miss": 0}
+        for event in self.events:
+            counts[event.status] += 1
+        counts["total"] = len(self.events)
+        return counts
+
+    def slowest(self, count: int = 10) -> List[RunEvent]:
+        ran = [e for e in self.events if e.status == "miss"]
+        return sorted(ran, key=lambda e: e.wall_s, reverse=True)[:count]
+
+    def slowest_table(self, count: int = 10) -> ExperimentResult:
+        rows = [
+            (e.label, f"{e.wall_s:.2f}", e.worker, e.key[:12])
+            for e in self.slowest(count)
+        ]
+        return ExperimentResult(
+            "campaign",
+            f"slowest simulated runs (of {len(self.events)} total; "
+            f"jobs={self.jobs})",
+            ["run", "seconds", "worker", "fingerprint"],
+            rows,
+        )
+
+    def write_trace(self, path: str) -> None:
+        payload = {
+            "scale": self.scale,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "salt": getattr(self.cache, "salt", ""),
+            "events": [asdict(e) for e in self.events],
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+
+
+def stderr_progress(line: str) -> None:
+    """Default progress sink: structured lines on stderr, tables stay
+    clean on stdout."""
+    print(line, file=sys.stderr, flush=True)

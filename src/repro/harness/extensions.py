@@ -12,15 +12,62 @@
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import List
 
 from repro.cpu.config import baseline_machine, uve_machine
 from repro.harness.report import ExperimentResult
-from repro.harness.runner import Runner
-from repro.kernels import get_kernel
-from repro.sim.simulator import Simulator
+from repro.harness.runner import Runner, RunSpec
 
 #: kernels with RVV implementations (the 1-D family).
 RVV_KERNELS = ("memcpy", "stream", "saxpy", "jacobi-1d", "jacobi-2d", "knn")
+
+#: the vector-length sweep (ext-vl): kernels and hardware widths.
+VL_KERNELS = ("saxpy", "jacobi-1d")
+VL_WIDTHS = (128, 256, 512, 1024)
+
+#: ext-shared-fifo benchmark subset.
+SHARED_FIFO_KERNELS = ("stream", "jacobi-2d", "gemm", "mamr")
+
+
+def _vl_config(isa: str, bits: int):
+    cfg = uve_machine() if isa == "uve" else baseline_machine()
+    return cfg.with_(vector_bits=bits)
+
+
+def _pooled_config(runner: Runner):
+    cfg = runner.config_for("uve")
+    return cfg.with_(engine=replace(cfg.engine, shared_fifo=True))
+
+
+def rvv_comparison_specs(runner: Runner) -> List[RunSpec]:
+    specs = []
+    for name in RVV_KERNELS:
+        specs.extend(
+            (
+                RunSpec(name, "uve"),
+                RunSpec(name, "sve"),
+                RunSpec(name, "rvv", runner.config_for("sve")),
+                RunSpec(name, "neon"),
+            )
+        )
+    return specs
+
+
+def vector_length_sweep_specs(runner: Runner) -> List[RunSpec]:
+    return [
+        RunSpec(name, isa, _vl_config(isa, bits))
+        for name in VL_KERNELS
+        for isa in ("uve", "sve")
+        for bits in VL_WIDTHS
+    ]
+
+
+def shared_fifo_specs(runner: Runner) -> List[RunSpec]:
+    specs = []
+    for name in SHARED_FIFO_KERNELS:
+        specs.append(RunSpec(name, "uve"))
+        specs.append(RunSpec(name, "uve", _pooled_config(runner)))
+    return specs
 
 
 def rvv_comparison(runner: Runner) -> ExperimentResult:
@@ -53,19 +100,13 @@ def rvv_comparison(runner: Runner) -> ExperimentResult:
 def vector_length_sweep(runner: Runner) -> ExperimentResult:
     """Run the *same* kernel builders at four hardware vector lengths."""
     rows = []
-    widths = (128, 256, 512, 1024)
-    for name in ("saxpy", "jacobi-1d"):
-        kernel = get_kernel(name)
+    widths = VL_WIDTHS
+    for name in VL_KERNELS:
         for isa in ("uve", "sve"):
             cycles = []
             for bits in widths:
-                cfg = (uve_machine() if isa == "uve" else baseline_machine())
-                cfg = cfg.with_(vector_bits=bits)
-                wl = kernel.workload(seed=runner.seed, scale=runner.scale)
-                program = kernel.build(isa, wl, bits)
-                result = Simulator(program, wl.memory, cfg).run()
-                wl.verify()
-                cycles.append(result.cycles)
+                record = runner.run(name, isa, _vl_config(isa, bits))
+                cycles.append(record.cycles)
             base = cycles[widths.index(512)]
             rows.append(
                 (name, isa)
@@ -85,11 +126,9 @@ def vector_length_sweep(runner: Runner) -> ExperimentResult:
 def shared_fifo(runner: Runner) -> ExperimentResult:
     """§IV-B future work: pool the load-FIFO capacity across streams."""
     rows = []
-    for name in ("stream", "jacobi-2d", "gemm", "mamr"):
+    for name in SHARED_FIFO_KERNELS:
         fixed = runner.run(name, "uve")
-        cfg = runner.config_for("uve")
-        cfg = cfg.with_(engine=replace(cfg.engine, shared_fifo=True))
-        pooled = runner.run(name, "uve", cfg)
+        pooled = runner.run(name, "uve", _pooled_config(runner))
         rows.append(
             (
                 name,

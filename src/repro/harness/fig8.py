@@ -7,11 +7,37 @@ benchmark-characterisation table.
 """
 from __future__ import annotations
 
-from repro.cpu.config import uve_machine
+from typing import List
+
 from repro.harness.report import ExperimentResult, geomean
-from repro.harness.runner import Runner
+from repro.harness.runner import Runner, RunSpec
 from repro.kernels import all_kernels, get_kernel
-from repro.sim.simulator import Simulator
+
+#: the three ISAs every fig8 comparison panel runs per benchmark.
+COMPARISON_ISAS = ("uve", "sve", "neon")
+
+
+def comparison_specs(runner: Runner) -> List[RunSpec]:
+    """Runs shared by panels A-D: every benchmark on all three ISAs."""
+    return [
+        RunSpec(kernel.name, isa)
+        for kernel in all_kernels()
+        for isa in COMPARISON_ISAS
+    ]
+
+
+def _unroll_factors(runner: Runner) -> List[int]:
+    """Unroll factors must divide the scaled GEMM K dimension."""
+    kernel = get_kernel("gemm")
+    k_dim = kernel.workload(seed=runner.seed, scale=runner.scale).params["k"]
+    return [f for f in (1, 2, 4, 8) if k_dim % f == 0]
+
+
+def unrolling_specs(runner: Runner) -> List[RunSpec]:
+    return [
+        RunSpec("gemm", "uve", unroll=factor)
+        for factor in _unroll_factors(runner)
+    ]
 
 
 def benchmark_table(runner: Runner = None) -> ExperimentResult:
@@ -142,23 +168,14 @@ def bus_utilization(runner: Runner) -> ExperimentResult:
 
 def unrolling(runner: Runner) -> ExperimentResult:
     """Fig. 8.E: speed-up of loop unrolling on the UVE GEMM."""
-    kernel = get_kernel("gemm")
-    cfg = uve_machine()
     base_cycles = None
     rows = []
-    k_dim = kernel.workload(seed=runner.seed, scale=runner.scale).params["k"]
-    factors = [f for f in (1, 2, 4, 8) if k_dim % f == 0]
-    for factor in factors:
-        wl = kernel.workload(seed=runner.seed, scale=runner.scale)
-        program = kernel.build_uve_unrolled(
-            wl, cfg.vector_bits // 32, unroll=factor
-        )
-        result = Simulator(program, wl.memory, cfg).run()
-        wl.verify()
+    for factor in _unroll_factors(runner):
+        record = runner.run("gemm", "uve", unroll=factor)
         if base_cycles is None:
-            base_cycles = result.cycles
-        rows.append((factor, int(result.cycles),
-                     f"{base_cycles / result.cycles:.2f}x"))
+            base_cycles = record.cycles
+        rows.append((factor, int(record.cycles),
+                     f"{base_cycles / record.cycles:.2f}x"))
     return ExperimentResult(
         "fig8e",
         "GEMM loop-unrolling speed-up (UVE unrolled vs not unrolled)",

@@ -1,0 +1,88 @@
+"""Canonical run fingerprints shared by every result cache.
+
+``repr(cfg)`` is a fragile cache key: it depends on field ordering, dict
+insertion order, and float formatting, and two semantically equal
+configurations built through different code paths need not compare equal.
+This module derives a *canonical* fingerprint by recursively walking
+dataclass fields (enums by qualified name, dicts sorted by key) and
+hashing the sorted-JSON form, so equal configs always hit and any nested
+field change always misses.  The same fingerprint keys the in-process
+:class:`~repro.harness.runner.Runner` cache and the on-disk
+:class:`~repro.harness.diskcache.ResultCache`.
+"""
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Optional
+
+from repro.cpu.config import MachineConfig
+
+
+def canonicalize(value):
+    """Recursively convert ``value`` into a JSON-stable structure."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {"__dataclass__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = canonicalize(getattr(value, f.name))
+        return out
+    if isinstance(value, dict):
+        items = [(_key(k), canonicalize(v)) for k, v in value.items()]
+        return {k: v for k, v in sorted(items)}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for fingerprinting"
+    )
+
+
+def _key(key) -> str:
+    """Dict keys must be strings after canonicalisation (sortable, JSON)."""
+    canon = canonicalize(key)
+    return canon if isinstance(canon, str) else json.dumps(canon)
+
+
+def fingerprint(value) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``value``."""
+    blob = json.dumps(
+        canonicalize(value), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(cfg: MachineConfig) -> str:
+    """Canonical fingerprint of a machine configuration."""
+    return fingerprint(cfg)
+
+
+def run_fingerprint(
+    kernel: str,
+    isa: str,
+    cfg: MachineConfig,
+    scale: float,
+    seed: int,
+    unroll: int = 0,
+    salt: Optional[str] = None,
+) -> str:
+    """Fingerprint identifying one simulation run.
+
+    ``salt`` lets the on-disk cache mix in a code-version component so
+    stale results from an older simulator never satisfy a newer one.
+    """
+    return fingerprint(
+        {
+            "kernel": kernel,
+            "isa": isa,
+            "config": canonicalize(cfg),
+            "scale": scale,
+            "seed": seed,
+            "unroll": unroll,
+            "salt": salt or "",
+        }
+    )

@@ -1,6 +1,12 @@
 """Experiment runner: executes kernel × ISA × configuration simulations,
 verifies numerical correctness, and caches results within a process so a
 figure that reuses another figure's runs does not resimulate them.
+
+Runs are identified by a :class:`RunSpec` — a picklable value object that
+a :class:`~repro.harness.executor.CampaignExecutor` worker can rebuild a
+``Runner`` from — and cached under a canonical content fingerprint (see
+:mod:`repro.harness.fingerprint`), so semantically equal configurations
+hit regardless of how they were constructed.
 """
 from __future__ import annotations
 
@@ -8,6 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.cpu.config import MachineConfig, baseline_machine, uve_machine
+from repro.errors import ConfigError
+from repro.harness.fingerprint import run_fingerprint
 from repro.kernels import get_kernel
 from repro.sim.simulator import SimulationResult, Simulator
 
@@ -31,13 +39,44 @@ class RunRecord:
     l2_miss_rate: float
 
 
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation a figure needs: kernel × ISA × configuration.
+
+    Picklable, so a process-pool worker can rebuild the run from it.
+    ``config=None`` means the ISA's default machine; ``unroll > 0``
+    selects the unrolled UVE build (Fig. 8.E).
+    """
+
+    kernel: str
+    isa: str
+    config: Optional[MachineConfig] = None
+    unroll: int = 0
+
+    def resolved_config(self) -> MachineConfig:
+        if self.config is not None:
+            return self.config
+        return uve_machine() if self.isa == "uve" else baseline_machine()
+
+    def key(self, scale: float, seed: int) -> str:
+        return run_fingerprint(
+            self.kernel, self.isa, self.resolved_config(),
+            scale, seed, self.unroll,
+        )
+
+
 class Runner:
     """Runs and caches simulations for the experiment harness."""
 
-    def __init__(self, scale: float = 1.0, seed: int = 0) -> None:
+    def __init__(
+        self, scale: float = 1.0, seed: int = 0, disk_cache=None
+    ) -> None:
         self.scale = scale
         self.seed = seed
-        self._cache: Dict[tuple, RunRecord] = {}
+        #: optional ResultCache-like object (load/store) consulted on a
+        #: memory miss, so re-runs only simulate what changed
+        self.disk_cache = disk_cache
+        self._cache: Dict[str, RunRecord] = {}
 
     def config_for(self, isa: str) -> MachineConfig:
         return uve_machine() if isa == "uve" else baseline_machine()
@@ -47,21 +86,44 @@ class Runner:
         kernel_name: str,
         isa: str,
         config: Optional[MachineConfig] = None,
+        unroll: int = 0,
     ) -> RunRecord:
-        cfg = config if config is not None else self.config_for(isa)
-        key = (kernel_name, isa, repr(cfg), self.scale, self.seed)
+        return self.run_spec(RunSpec(kernel_name, isa, config, unroll))
+
+    def run_spec(self, spec: RunSpec) -> RunRecord:
+        cfg = spec.resolved_config()
+        _check_consistent(spec.isa, cfg)
+        key = spec.key(self.scale, self.seed)
         record = self._cache.get(key)
+        if record is None and self.disk_cache is not None:
+            record = self.disk_cache.load(key)
+            if record is not None:
+                self._cache[key] = record
         if record is None:
-            record = self._simulate(kernel_name, isa, cfg)
+            record = self._simulate(spec.kernel, spec.isa, cfg, spec.unroll)
             self._cache[key] = record
+            if self.disk_cache is not None:
+                self.disk_cache.store(key, record)
         return record
 
+    def seed_cache(self, key: str, record: RunRecord) -> None:
+        """Install an externally computed result (executor prefetch)."""
+        self._cache[key] = record
+
+    def cached(self, key: str) -> Optional[RunRecord]:
+        return self._cache.get(key)
+
     def _simulate(
-        self, kernel_name: str, isa: str, cfg: MachineConfig
+        self, kernel_name: str, isa: str, cfg: MachineConfig, unroll: int = 0
     ) -> RunRecord:
         kernel = get_kernel(kernel_name)
         wl = kernel.workload(seed=self.seed, scale=self.scale)
-        program = kernel.build(isa, wl, cfg.vector_bits)
+        if unroll:
+            program = kernel.build_uve_unrolled(
+                wl, cfg.vector_bits // 32, unroll=unroll
+            )
+        else:
+            program = kernel.build(isa, wl, cfg.vector_bits)
         result: SimulationResult = Simulator(program, wl.memory, cfg).run()
         wl.verify()
         engine = result.pipeline.engine
@@ -81,4 +143,20 @@ class Runner:
             ),
             l1_miss_rate=result.hierarchy.l1d.stats.miss_rate,
             l2_miss_rate=result.hierarchy.l2.stats.miss_rate,
+        )
+
+
+def _check_consistent(isa: str, cfg: MachineConfig) -> None:
+    """An explicit config must match the requested ISA: UVE code needs the
+    Streaming Engine, and the baseline ISAs must not silently run on a
+    streaming core."""
+    if isa == "uve" and not cfg.streaming:
+        raise ConfigError(
+            "isa 'uve' requires a streaming machine config "
+            "(got streaming=False; use uve_machine())"
+        )
+    if isa != "uve" and cfg.streaming:
+        raise ConfigError(
+            f"isa {isa!r} must run on a non-streaming baseline config "
+            "(got streaming=True; use baseline_machine())"
         )

@@ -7,27 +7,72 @@ Fig. 11: stream cache level (L1/L2/DRAM), UVE.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import List
 
 from repro.harness.report import ExperimentResult
-from repro.harness.runner import Runner
-from repro.kernels import get_kernel
+from repro.harness.runner import Runner, RunSpec
 
 #: the benchmark subset the paper sweeps.
 SWEEP_KERNELS = ("gemm", "jacobi-2d", "stream", "mamr")
 
+#: Fig. 9 physical-vector-register counts.
+PR_COUNTS = (48, 64, 96)
+#: Fig. 10 FIFO depths.
+FIFO_DEPTHS = (2, 4, 8, 12)
+#: Fig. 11 stream cache levels.
+CACHE_LEVELS = ("L1", "L2", "MEM")
+
+
+def _pr_config(runner: Runner, isa: str, count: int):
+    cfg = runner.config_for(isa)
+    return cfg.with_(core=replace(cfg.core, vec_phys_regs=count))
+
+
+def _fifo_config(runner: Runner, depth: int):
+    cfg = runner.config_for("uve")
+    return cfg.with_(engine=replace(cfg.engine, fifo_depth=depth))
+
+
+def _level_config(runner: Runner, level: str):
+    cfg = runner.config_for("uve")
+    return cfg.with_(engine=replace(cfg.engine, mem_level_override=level))
+
+
+def vector_registers_specs(runner: Runner) -> List[RunSpec]:
+    return [
+        RunSpec(name, isa, _pr_config(runner, isa, count))
+        for name in SWEEP_KERNELS
+        for isa in ("uve", "sve")
+        for count in PR_COUNTS
+    ]
+
+
+def fifo_depth_specs(runner: Runner) -> List[RunSpec]:
+    return [
+        RunSpec(name, "uve", _fifo_config(runner, depth))
+        for name in SWEEP_KERNELS + ("3mm",)
+        for depth in FIFO_DEPTHS
+    ]
+
+
+def stream_cache_level_specs(runner: Runner) -> List[RunSpec]:
+    return [
+        RunSpec(name, "uve", _level_config(runner, level))
+        for name in SWEEP_KERNELS
+        for level in CACHE_LEVELS
+    ]
+
 
 def vector_registers(runner: Runner) -> ExperimentResult:
     """Fig. 9: performance sensitivity to physical vector registers."""
-    counts = (48, 64, 96)
+    counts = PR_COUNTS
     rows = []
     for name in SWEEP_KERNELS:
         for isa in ("uve", "sve"):
             base = None
             speeds = []
             for count in counts:
-                cfg = runner.config_for(isa)
-                cfg = cfg.with_(core=replace(cfg.core, vec_phys_regs=count))
-                record = runner.run(name, isa, cfg)
+                record = runner.run(name, isa, _pr_config(runner, isa, count))
                 if base is None:
                     base = record.cycles
                 speeds.append(base / record.cycles)
@@ -44,15 +89,13 @@ def vector_registers(runner: Runner) -> ExperimentResult:
 
 def fifo_depth(runner: Runner) -> ExperimentResult:
     """Fig. 10: sensitivity to the load/store FIFO depth."""
-    depths = (2, 4, 8, 12)
+    depths = FIFO_DEPTHS
     rows = []
     for name in SWEEP_KERNELS + ("3mm",):
         base = None
         speeds = []
         for depth in depths:
-            cfg = runner.config_for("uve")
-            cfg = cfg.with_(engine=replace(cfg.engine, fifo_depth=depth))
-            record = runner.run(name, "uve", cfg)
+            record = runner.run(name, "uve", _fifo_config(runner, depth))
             if depth == 8:
                 base = record.cycles
             speeds.append(record.cycles)
@@ -70,17 +113,13 @@ def fifo_depth(runner: Runner) -> ExperimentResult:
 
 def stream_cache_level(runner: Runner) -> ExperimentResult:
     """Fig. 11: sensitivity to the cache/memory level streams access."""
-    levels = ("L1", "L2", "MEM")
+    levels = CACHE_LEVELS
     rows = []
     for name in SWEEP_KERNELS:
         base = None
         cycles = []
         for level in levels:
-            cfg = runner.config_for("uve")
-            cfg = cfg.with_(
-                engine=replace(cfg.engine, mem_level_override=level)
-            )
-            record = runner.run(name, "uve", cfg)
+            record = runner.run(name, "uve", _level_config(runner, level))
             if level == "L2":
                 base = record.cycles
             cycles.append(record.cycles)

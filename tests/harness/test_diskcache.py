@@ -1,0 +1,88 @@
+"""Tests for the persistent on-disk result cache."""
+import dataclasses
+import json
+
+from repro.harness.diskcache import ResultCache, code_version_salt
+from repro.harness.runner import RunRecord
+
+
+def record(**overrides) -> RunRecord:
+    fields = dict(
+        kernel="saxpy", letter="C", isa="uve", committed=100, cycles=50.0,
+        ipc=2.0, rename_blocks_per_cycle=0.1, bus_utilization=0.5,
+        dram_bytes=4096, mispredict_rate=0.01, fifo_occupancy=3.0,
+        l1_miss_rate=0.2, l2_miss_rate=0.3,
+    )
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        cache.store("key-1", record())
+        assert cache.load("key-1") == record()
+        assert cache.hits == 1
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        assert cache.load("never-stored") is None
+        assert cache.misses == 1
+
+    def test_corrupted_entry_is_a_miss_and_recoverable(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        cache.store("key-1", record())
+        path = cache._path("key-1")
+        path.write_text("{ not json")
+        assert cache.load("key-1") is None
+        cache.store("key-1", record(cycles=99.0))  # overwrite heals it
+        assert cache.load("key-1").cycles == 99.0
+
+    def test_schema_incompatible_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        cache.store("key-1", record())
+        path = cache._path("key-1")
+        payload = json.loads(path.read_text())
+        payload["record"]["no_such_field"] = 1
+        path.write_text(json.dumps(payload))
+        assert cache.load("key-1") is None
+
+    def test_salt_separates_code_versions(self, tmp_path):
+        old = ResultCache(tmp_path, salt="v1")
+        new = ResultCache(tmp_path, salt="v2")
+        old.store("key-1", record())
+        assert new.load("key-1") is None
+        assert old.load("key-1") is not None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        for i in range(5):
+            cache.store(f"key-{i}", record())
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_unwritable_root_degrades_silently(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        cache = ResultCache(blocked / "cache", salt="s")
+        cache.store("key-1", record())  # must not raise
+        assert cache.load("key-1") is None
+
+    def test_default_salt_is_stable(self):
+        assert code_version_salt() == code_version_salt()
+        assert len(code_version_salt()) == 64
+
+
+class TestRunnerDiskIntegration:
+    def test_runner_reads_through_and_populates(self, tmp_path):
+        from repro.harness.runner import Runner
+
+        cache = ResultCache(tmp_path, salt="s")
+        first = Runner(scale=0.1, disk_cache=cache)
+        rec = first.run("saxpy", "uve")
+        # A fresh Runner with an empty memory cache loads from disk
+        # instead of simulating.
+        second = Runner(scale=0.1, disk_cache=cache)
+        monkey_called = []
+        second._simulate = lambda *a, **k: monkey_called.append(a)
+        assert second.run("saxpy", "uve") == rec
+        assert not monkey_called

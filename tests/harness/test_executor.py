@@ -1,0 +1,131 @@
+"""Tests for the parallel, cache-persistent campaign executor.
+
+A cheap two-experiment campaign at tiny scale keeps these fast while
+still covering spec collection, pool execution, determinism, and the
+disk-cache life cycle.
+"""
+import pytest
+
+from repro.harness import EXPERIMENTS
+from repro.harness.diskcache import ResultCache
+from repro.harness.executor import CampaignExecutor
+
+CAMPAIGN = ["fig8e", "ext-shared-fifo"]
+SCALE = 0.1
+
+
+def run_campaign(jobs, cache=None):
+    executor = CampaignExecutor(scale=SCALE, seed=0, jobs=jobs, cache=cache)
+    results = executor.run_campaign(CAMPAIGN)
+    return executor, [r.to_dict() for r in results]
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return run_campaign(jobs=1)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, serial):
+        """--jobs 4 must produce byte-identical experiment dicts."""
+        _, expected = serial
+        _, got = run_campaign(jobs=4)
+        assert got == expected
+
+    def test_matches_direct_run_experiment(self, serial):
+        from repro.harness import Runner, run_experiment
+
+        _, expected = serial
+        runner = Runner(scale=SCALE, seed=0)
+        direct = [run_experiment(n, runner).to_dict() for n in CAMPAIGN]
+        assert direct == expected
+
+
+class TestSpecDeclarations:
+    def test_every_experiment_declares_specs(self):
+        executor = CampaignExecutor(scale=SCALE, jobs=1)
+        specs = executor.collect_specs(list(EXPERIMENTS))
+        # 19 kernels x 3 ISAs for fig8a-d alone; sweeps add more.
+        assert len(specs) > 80
+
+    def test_prefetch_covers_the_builds(self, serial):
+        """After prefetch, building the tables must simulate nothing —
+        i.e. the declared specs are complete for these experiments."""
+        executor, _ = serial
+        executor.runner._simulate = lambda *a, **k: pytest.fail(
+            "build required an undeclared simulation"
+        )
+        for name in CAMPAIGN:
+            assert EXPERIMENTS[name].build(executor.runner).rows
+
+    def test_specs_are_deduplicated(self):
+        executor = CampaignExecutor(scale=SCALE, jobs=1)
+        # fig8a and fig8b share all their runs.
+        only_a = executor.collect_specs(["fig8a"])
+        both = executor.collect_specs(["fig8a", "fig8b"])
+        assert set(only_a) == set(both)
+
+
+class TestDiskCacheLifecycle:
+    def test_second_campaign_simulates_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        first, payload = run_campaign(jobs=1, cache=cache)
+        counts = first.cache_summary()
+        assert counts["miss"] == counts["total"] > 0
+
+        rerun, payload2 = run_campaign(jobs=4, cache=ResultCache(
+            tmp_path, salt="s"))
+        counts = rerun.cache_summary()
+        assert counts["miss"] == 0
+        assert counts["hit-disk"] == counts["total"]
+        assert payload2 == payload
+
+    def test_corrupted_entry_resimulates_only_that_run(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        first, payload = run_campaign(jobs=1, cache=cache)
+        victim = next(tmp_path.rglob("*.json"))
+        victim.write_text("corrupted! {{{")
+
+        rerun, payload2 = run_campaign(jobs=1, cache=ResultCache(
+            tmp_path, salt="s"))
+        counts = rerun.cache_summary()
+        assert counts["miss"] == 1
+        assert counts["hit-disk"] == counts["total"] - 1
+        assert payload2 == payload
+
+    def test_salt_change_invalidates_everything(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="v1")
+        run_campaign(jobs=1, cache=cache)
+        rerun, _ = run_campaign(jobs=1, cache=ResultCache(
+            tmp_path, salt="v2"))
+        assert rerun.cache_summary()["hit-disk"] == 0
+
+
+class TestObservability:
+    def test_events_and_slowest_table(self, tmp_path):
+        lines = []
+        executor = CampaignExecutor(
+            scale=SCALE, jobs=1, progress=lines.append
+        )
+        executor.run_campaign(["fig8e"])
+        assert executor.events
+        assert all(e.status == "miss" for e in executor.events)
+        assert all(e.wall_s > 0 for e in executor.events)
+        assert lines and all("worker" in line for line in lines)
+        table = executor.slowest_table()
+        assert table.rows
+        walls = [float(r[1]) for r in table.rows]
+        assert walls == sorted(walls, reverse=True)
+
+    def test_trace_written(self, tmp_path):
+        import json
+
+        executor = CampaignExecutor(scale=SCALE, jobs=1)
+        executor.run_campaign(["fig8e"])
+        trace = tmp_path / "trace.json"
+        executor.write_trace(str(trace))
+        payload = json.loads(trace.read_text())
+        assert payload["scale"] == SCALE
+        assert len(payload["events"]) == len(executor.events)
+        assert {"kernel", "status", "wall_s", "worker", "queue_depth"} \
+            <= set(payload["events"][0])

@@ -1,0 +1,70 @@
+"""Tests for canonical config/run fingerprints."""
+from dataclasses import replace
+
+import pytest
+
+from repro.cpu.config import (
+    DEFAULT_LATENCIES,
+    baseline_machine,
+    uve_machine,
+)
+from repro.harness.fingerprint import (
+    canonicalize,
+    config_fingerprint,
+    fingerprint,
+    run_fingerprint,
+)
+from repro.harness.runner import RunSpec
+
+
+class TestConfigFingerprint:
+    def test_equal_configs_equal_fingerprints(self):
+        assert config_fingerprint(uve_machine()) == \
+            config_fingerprint(uve_machine())
+
+    def test_semantically_equal_dict_orderings_match(self):
+        # repr() would differ for these two; the fingerprint must not.
+        shuffled = dict(reversed(list(DEFAULT_LATENCIES.items())))
+        a = uve_machine()
+        b = uve_machine(latencies=shuffled)
+        assert repr(a) != repr(b)
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_nested_field_change_misses(self):
+        base = uve_machine()
+        varied = base.with_(engine=replace(base.engine, fifo_depth=2))
+        assert config_fingerprint(base) != config_fingerprint(varied)
+
+    def test_deeply_nested_field_change_misses(self):
+        base = uve_machine()
+        varied = base.with_(core=replace(base.core, vec_phys_regs=96))
+        assert config_fingerprint(base) != config_fingerprint(varied)
+
+    def test_streaming_flag_distinguishes_machines(self):
+        assert config_fingerprint(uve_machine()) != \
+            config_fingerprint(baseline_machine())
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            fingerprint({"x": object()})
+
+    def test_canonical_enum_keys_are_strings(self):
+        canon = canonicalize(uve_machine())
+        assert all(isinstance(k, str) for k in canon["latencies"])
+
+
+class TestRunFingerprint:
+    def test_every_component_matters(self):
+        cfg = uve_machine()
+        base = run_fingerprint("saxpy", "uve", cfg, 1.0, 0)
+        assert run_fingerprint("gemm", "uve", cfg, 1.0, 0) != base
+        assert run_fingerprint("saxpy", "uve", cfg, 0.5, 0) != base
+        assert run_fingerprint("saxpy", "uve", cfg, 1.0, 7) != base
+        assert run_fingerprint("saxpy", "uve", cfg, 1.0, 0, unroll=2) != base
+        assert run_fingerprint("saxpy", "uve", cfg, 1.0, 0, salt="v2") != base
+
+    def test_runspec_key_resolves_default_config(self):
+        # An explicit default config and config=None are the same run.
+        explicit = RunSpec("saxpy", "uve", uve_machine())
+        implicit = RunSpec("saxpy", "uve")
+        assert explicit.key(1.0, 0) == implicit.key(1.0, 0)

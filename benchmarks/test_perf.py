@@ -1,0 +1,55 @@
+"""Simulator-performance micro-benchmark (wall clock of the timing loop).
+
+Unlike the figure benchmarks, this measures the *simulator itself*: how
+fast ``Pipeline.run`` replays a materialised trace with the event-horizon
+fast-forward on vs off.  It is the pytest face of
+``repro.harness.bench`` (which CI runs directly to produce the
+``BENCH_sim.json`` artifact).
+"""
+import json
+import os
+
+import pytest
+
+from conftest import bench_scale
+from repro.harness import bench
+
+
+@pytest.mark.parametrize("kernel,isa", bench.DEFAULT_CASES)
+def test_timing_loop_speedup(benchmark, kernel, isa):
+    scale = bench_scale()
+    mat = bench.materialize(kernel, isa, scale=scale)
+
+    off_s, off_pipe = bench.time_run(mat, fast_forward=False)
+    on_s, on_pipe = benchmark.pedantic(
+        bench.time_run, args=(mat, True), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+
+    # Equivalence gate: fast-forward must be invisible in the stats.
+    assert on_pipe.stats.as_dict() == off_pipe.stats.as_dict()
+    assert on_pipe.ff_skipped_cycles > 0
+    print(
+        f"\n{kernel}/{isa} @ scale {scale}: off {off_s:.3f}s, "
+        f"on {on_s:.3f}s ({off_s / on_s:.2f}x), skipped "
+        f"{on_pipe.ff_skipped_cycles}/{int(on_pipe.stats.cycles)} cycles"
+    )
+
+
+def test_bench_module_writes_json(tmp_path):
+    """``python -m repro.harness.bench --json`` output shape (what CI
+    uploads as the BENCH_sim.json artifact)."""
+    out = tmp_path / "BENCH_sim.json"
+    rc = bench.main(
+        ["--json", str(out), "--scale", "0.1", "--repeats", "1",
+         "--cases", "memcpy/uve"]
+    )
+    assert rc == 0
+    data = json.loads(out.read_text())
+    (run,) = data["runs"]
+    assert run["stats_identical"] is True
+    # Wall-clock speedup is asserted at full scale (BENCH_sim.json); at
+    # this smoke scale only check the fast path engaged and was recorded.
+    assert run["skipped_cycles"] > 0
+    assert run["speedup"] > 0
+    assert data["max_speedup"] == run["speedup"]

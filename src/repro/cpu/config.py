@@ -169,6 +169,11 @@ class MachineConfig:
     vector_bits: int = 512
     #: streaming support on (UVE core) or off (baseline ARM-like core)
     streaming: bool = True
+    #: event-horizon fast-forward: when a cycle makes no progress, jump
+    #: straight to the earliest cycle any state can change instead of
+    #: ticking through the stall.  Produces bit-identical PipelineStats
+    #: (see docs/TIMING.md "Fast-forward"); off simulates every cycle.
+    fast_forward: bool = True
     latencies: Dict[OpClass, int] = field(
         default_factory=lambda: dict(DEFAULT_LATENCIES)
     )

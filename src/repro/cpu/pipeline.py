@@ -18,6 +18,7 @@ to the L1 after commit.
 """
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional
 
@@ -36,6 +37,18 @@ _BANK_OF = {RegClass.X: "int", RegClass.F: "fp", RegClass.V: "vec"}
 #: op classes whose accumulator operand benefits from MAC->MAC forwarding
 _MAC_CLASSES = (OpClass.VEC_MAC, OpClass.FP_MAC)
 
+#: per-opclass (cluster, is_load, is_store, is_stream_co): one dict hit in
+#: _Op.__init__ instead of three enum property calls per dynamic op
+_OPCLASS_META = {
+    oc: (
+        oc.cluster,
+        oc.is_load,
+        oc.is_store,
+        oc in (OpClass.STREAM_CFG, OpClass.STREAM_CTL),
+    )
+    for oc in OpClass
+}
+
 
 class _Op:
     """In-flight instruction state."""
@@ -51,6 +64,11 @@ class _Op:
         "issued",
         "is_load",
         "is_store",
+        "is_stream_co",
+        "needs_sched",
+        "needed_banks",
+        "sched",
+        "wake_at",
         "mem_lines",
         "allocs",
         "mispredicted",
@@ -58,7 +76,8 @@ class _Op:
 
     def __init__(self, dyn: DynOp) -> None:
         self.dyn = dyn
-        self.cluster = dyn.opclass.cluster
+        cluster, is_load, is_store, is_stream_co = _OPCLASS_META[dyn.opclass]
+        self.cluster = cluster
         #: (producer, wants_early) pairs; pruned as they are satisfied
         self.producers: List = []
         self.stream_waits = ()
@@ -66,8 +85,26 @@ class _Op:
         self.complete: Optional[float] = None
         self.early_complete: Optional[float] = None
         self.issued = False
-        self.is_load = dyn.opclass.is_load
-        self.is_store = dyn.opclass.is_store
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_stream_co = is_stream_co
+        self.needs_sched = cluster is not FuCluster.NONE and not is_stream_co
+        #: ((bank, count), ...) of physical registers this op allocates —
+        #: reused across repeated structural-block checks while stalled
+        if is_stream_co:
+            self.needed_banks = ()
+        else:
+            needed: Dict[str, int] = {}
+            for dest in dyn.dests:
+                bank = _BANK_OF.get(dest.cls)
+                if bank is not None:
+                    needed[bank] = needed.get(bank, 0) + 1
+            self.needed_banks = tuple(needed.items())
+        #: scheduler queue this op dispatches to (bound lazily)
+        self.sched: Optional[List["_Op"]] = None
+        #: cycle before which _ready is known to return False (exact; 0.0
+        #: when some blocking condition has no known completion time yet)
+        self.wake_at = 0.0
         self.mem_lines: List[int] = []
         self.allocs: Dict[str, int] = {}
         self.mispredicted = False
@@ -118,6 +155,14 @@ class Pipeline:
             FuCluster.FP: [],
             FuCluster.MEM: [],
         }
+        #: issue order with per-cluster port counts, binding the queue
+        #: lists directly (they are compacted in place, never rebound) so
+        #: the per-cycle issue loop does no enum-keyed dict lookups
+        self._issue_plan = (
+            (self._sched[FuCluster.MEM], True, core.load_ports + core.store_ports),
+            (self._sched[FuCluster.FP], False, core.fp_units),
+            (self._sched[FuCluster.INT], False, core.int_alus),
+        )
         self._rat: Dict[object, _Op] = {}
         #: line -> in-flight (renamed, not yet drained) store ops, oldest
         #: first; loads must wait for every older store to the same line
@@ -127,6 +172,14 @@ class Pipeline:
         self._block_branch: Optional[_Op] = None
         self._resume_fetch_at = 0.0
         self._trace_done = False
+        #: Stream Alias Table at commit: architectural stream register ->
+        #: uid of the latest *committed* configuration.  ``stream.stop``
+        #: terminates only the stream its register currently aliases, not
+        #: later reconfigurations that reuse the register.
+        self._stream_alias: Dict[int, int] = {}
+        #: cycles elided by the event-horizon fast path (diagnostic; not
+        #: part of PipelineStats, which must be identical with it off)
+        self.ff_skipped_cycles = 0
         #: optional callable(event, dyn_op, cycle) receiving "rename",
         #: "issue", and "commit" events (used by repro.sim.debug)
         self.observer = None
@@ -137,22 +190,53 @@ class Pipeline:
         trace_iter = iter(trace)
         cycle = 0.0
         line_bytes = self.hierarchy.line_bytes
+        fast_forward = self.config.fast_forward
+        stats = self.stats
+        engine = self.engine
         guard = 0
         while True:
-            if self.engine is not None:
-                self.engine.tick(cycle)
-            self._drain_post_stores(cycle)
-            self._commit(cycle)
-            self._issue(cycle)
-            self._rename(cycle)
-            self._fetch(cycle, trace_iter, line_bytes)
+            # Every stage reports whether it changed any machine state
+            # this cycle; a fully quiescent cycle is eligible for the
+            # event-horizon fast path below.
+            progress = False
+            if engine is not None:
+                progress = engine.tick(cycle)
+            if self._post_stores and self._drain_post_stores(cycle):
+                progress = True
+            if self._rob_q:
+                committed_before = stats.committed
+                self._commit(cycle)
+                if stats.committed != committed_before:
+                    progress = True
+            if self._issue(cycle):
+                progress = True
+            fetch_stalls_before = stats.fetch_stall_cycles
+            renamed, block_cause = self._rename(cycle)
+            if renamed:
+                progress = True
+            if self._fetch(cycle, trace_iter, line_bytes):
+                progress = True
             if self._trace_done and not self._rob_q and not self._decode:
-                if self._post_stores or (
-                    self.engine is not None and self.engine.stores_pending
+                if not (
+                    self._post_stores
+                    or (engine is not None and engine.stores_pending)
                 ):
-                    cycle += 1
-                    continue
-                break
+                    break
+            if fast_forward and not progress:
+                skipped = int(self._event_horizon(cycle) - cycle) - 1
+                if skipped > 0:
+                    # Nothing can change before the horizon, so every
+                    # skipped cycle would have repeated this cycle's
+                    # stall accounting exactly — back-fill it.
+                    if stats.fetch_stall_cycles != fetch_stalls_before:
+                        stats.fetch_stall_cycles += skipped
+                    if block_cause is not None:
+                        stats.rename_block_cycles += skipped
+                        stats.rename_block_causes[block_cause] += skipped
+                    if engine is not None:
+                        engine.skip_idle(skipped)
+                    self.ff_skipped_cycles += skipped
+                    cycle += skipped
             cycle += 1
             guard += 1
             if guard > 200_000_000:
@@ -168,47 +252,162 @@ class Pipeline:
         self.stats.branches = self.predictor.predictions
         return self.stats
 
+    # ----------------------------------------------------- event horizon --
+
+    def _event_horizon(self, now: float) -> float:
+        """Earliest future cycle at which any pipeline state can change.
+
+        Only called on cycles where no stage made progress.  Every
+        blocking condition in the model unblocks when simulated time
+        crosses some already-known completion time, so the machine state
+        is provably frozen until the minimum of those horizons:
+
+        * the ROB head's completion (the only completion that can
+          unblock the in-order commit stage) at ``t + 1``;
+        * scheduler residents' wake-up times, read off the exact state
+          ``_ready`` consults: unsatisfied producer links (with the MAC
+          forwarding bonus already folded in), and older same-line
+          stores blocking a load;
+        * a blocked branch's resolution plus the front-end redirect;
+        * ``_resume_fetch_at``;
+        * Streaming Engine state: SCROB free time, module dimension-
+          switch busy times, stream start cycles, and load-FIFO
+          ``chunk_ready`` times (these cover stream_waits);
+        * posted stores: the engine store queue's head ready time and
+          the L1's next-MSHR-free (``can_accept``) horizon.
+
+        Non-head, non-scheduler completions need no event: in-order
+        commit means nothing observes them until the head commits, and
+        that is itself a simulated (progress) cycle.  Returning a
+        too-early cycle is always safe (the resumed cycle simply makes
+        no progress and skips again); returning a too-late cycle never
+        happens because each collected horizon is exactly the first
+        cycle its condition can flip.
+        """
+        inf = math.inf
+        ceil = math.ceil
+        best = inf
+        blocker = self._block_branch
+        if blocker is not None and blocker.complete is not None:
+            c = ceil(blocker.complete + self.config.core.frontend_depth)
+            if now < c < best:
+                best = c
+        if self._resume_fetch_at > now:
+            c = ceil(self._resume_fetch_at)
+            if now < c < best:
+                best = c
+        if self._rob_q:
+            t = self._rob_q[0].complete
+            if t is not None:
+                c = ceil(t) + 1
+                if now < c < best:
+                    best = c
+        store_by_line = self._store_by_line
+        for queue in self._sched.values():
+            for op in queue:
+                for producer, early, bonus in op.producers:
+                    t = producer.early_complete if early else producer.complete
+                    if t is None:
+                        continue  # wakes via the producer's own events
+                    c = ceil(t - bonus)
+                    if now < c < best:
+                        best = c
+                if op.is_load and op.mem_lines:
+                    seq = op.dyn.seq
+                    for line in op.mem_lines:
+                        for store in store_by_line.get(line, ()):
+                            if store.dyn.seq >= seq:
+                                break
+                            t = store.complete
+                            if t is not None:
+                                c = ceil(t)
+                                if now < c < best:
+                                    best = c
+        engine = self.engine
+        if engine is not None:
+            c = ceil(engine._scrob_free_at) + 1
+            if now < c < best:
+                best = c
+            for busy in engine._module_busy:
+                c = ceil(busy)
+                if now < c < best:
+                    best = c
+            for stream in engine.streams.values():
+                if stream.start_cycle > now:
+                    c = ceil(stream.start_cycle)
+                    if now < c < best:
+                        best = c
+                for t in stream.chunk_ready.values():
+                    c = ceil(t)
+                    if now < c < best:
+                        best = c
+            if engine._store_queue:
+                c = ceil(engine._store_queue[0][0])
+                if now < c < best:
+                    best = c
+        if self._post_stores or (engine is not None and engine.stores_pending):
+            t = self.hierarchy.l1_accept_horizon(now)
+            if t != inf:
+                c = ceil(t)
+                if now < c < best:
+                    best = c
+        if best == inf:
+            return now + 1.0  # no known event: tick normally (guarded)
+        return float(best)
+
     # ---------------------------------------------------------------- fetch --
 
-    def _fetch(self, now: float, trace_iter, line_bytes: int) -> None:
+    def _fetch(self, now: float, trace_iter, line_bytes: int) -> bool:
+        """Returns True when any front-end state changed this cycle."""
         if self._trace_done:
-            return
+            return False
+        progress = False
         blocker = self._block_branch
         if blocker is not None:
             if blocker.complete is None:
                 self.stats.fetch_stall_cycles += 1
-                return
+                return False
             resume = blocker.complete + self.config.core.frontend_depth
             if now < resume:
                 self.stats.fetch_stall_cycles += 1
-                return
+                return False
             self._block_branch = None
+            progress = True
         if now < self._resume_fetch_at:
             self.stats.fetch_stall_cycles += 1
-            return
+            return progress
         width = self.config.core.fetch_width
         room = self.config.core.decode_queue - len(self._decode)
+        if room <= 0:
+            # A full decode queue stalls fetch exactly like a blocked
+            # branch does; count it so decode-bound kernels show up in
+            # the stall breakdown instead of losing these cycles.
+            self.stats.fetch_stall_cycles += 1
+            return progress
         for _ in range(min(width, room)):
             try:
                 dyn = next(trace_iter)
             except StopIteration:
                 self._trace_done = True
-                return
+                return True
             op = _Op(dyn)
             self.stats.fetched += 1
             self._decode.append(op)
+            progress = True
             if dyn.is_branch:
                 wrong = self.predictor.record_outcome(dyn.pc, dyn.taken)
                 if wrong:
                     op.mispredicted = True
                     self._block_branch = op
-                    return
+                    return True
                 if dyn.taken:
-                    return  # taken branch ends the fetch group
+                    return True  # taken branch ends the fetch group
+        return progress
 
     # --------------------------------------------------------------- rename --
 
-    def _rename(self, now: float) -> None:
+    def _rename(self, now: float) -> "tuple[int, Optional[str]]":
+        """Returns (ops renamed, block cause counted this cycle or None)."""
         core = self.config.core
         engine = self.engine
         renamed = 0
@@ -218,18 +417,19 @@ class Pipeline:
             cause = self._structural_block(op)
             if cause is not None:
                 self.stats.block(cause)
-                return
+                return renamed, cause
             # Stream store-FIFO reservation (may stall rename).
             if dyn.stream_writes and engine is not None:
-                if not all(
-                    engine.streams[uid].store_reserved
-                    - engine.streams[uid].store_drained
-                    < engine.config.fifo_depth
-                    for (_, uid, __, last) in dyn.stream_writes
-                    if last
-                ):
-                    self.stats.block("store_fifo")
-                    return
+                fifo_depth = engine.config.fifo_depth
+                for (_, uid, __, last) in dyn.stream_writes:
+                    if last:
+                        stream = engine.streams[uid]
+                        if (
+                            stream.store_reserved - stream.store_drained
+                            >= fifo_depth
+                        ):
+                            self.stats.block("store_fifo")
+                            return renamed, "store_fifo"
             self._decode.popleft()
             renamed += 1
             self._rob += 1
@@ -240,7 +440,7 @@ class Pipeline:
             # the Stream Alias Table, not physical vector registers; data
             # written to an output stream lives in its reserved Store FIFO
             # entry rather than a vector PR (§IV-A Stream Iteration).
-            if dyn.opclass not in (OpClass.STREAM_CFG, OpClass.STREAM_CTL):
+            if not op.is_stream_co:
                 write_regs = (
                     {ev[0] for ev in dyn.stream_writes}
                     if dyn.stream_writes
@@ -295,7 +495,7 @@ class Pipeline:
                     start = engine.configure(info, now)
                     op.complete = start
                     op.early_complete = start
-                elif dyn.opclass in (OpClass.STREAM_CFG, OpClass.STREAM_CTL):
+                elif op.is_stream_co:
                     op.complete = now + 1
                     op.early_complete = now + 1
                 if dyn.stream_reads:
@@ -307,7 +507,7 @@ class Pipeline:
                     for (_, uid, __, last) in dyn.stream_writes:
                         if last:
                             engine.reserve_store(uid)
-            elif dyn.opclass in (OpClass.STREAM_CFG, OpClass.STREAM_CTL):
+            elif op.is_stream_co:
                 op.complete = now + 1
                 op.early_complete = now + 1
             # Dispatch.
@@ -332,105 +532,129 @@ class Pipeline:
                         seen.append(line)
                 op.mem_lines = seen
             self._iq += 1
-            self._sched[op.cluster].append(op)
+            op.sched.append(op)  # bound by _structural_block this cycle
+        return renamed, None
 
     def _structural_block(self, op: _Op) -> Optional[str]:
         core = self.config.core
-        dyn = op.dyn
         if self._rob >= core.rob_entries:
             return "rob"
-        needs_sched = (
-            op.cluster is not FuCluster.NONE
-            and dyn.opclass not in (OpClass.STREAM_CFG, OpClass.STREAM_CTL)
-        )
-        if needs_sched:
+        if op.needs_sched:
             if self._iq >= core.iq_entries:
                 return "iq"
-            if len(self._sched[op.cluster]) >= core.scheduler_entries:
+            queue = op.sched
+            if queue is None:
+                queue = op.sched = self._sched[op.cluster]
+            if len(queue) >= core.scheduler_entries:
                 return "scheduler"
         if op.is_load and self._lq >= core.lq_entries:
             return "lq"
         if op.is_store and self._sq >= core.sq_entries:
             return "sq"
-        if dyn.opclass not in (OpClass.STREAM_CFG, OpClass.STREAM_CTL):
-            needed: Dict[str, int] = {}
-            for dest in dyn.dests:
-                bank = _BANK_OF.get(dest.cls)
-                if bank is not None:
-                    needed[bank] = needed.get(bank, 0) + 1
-            for bank, count in needed.items():
-                if self._free[bank] < count:
-                    return f"{bank}_regs"
+        free = self._free
+        for bank, count in op.needed_banks:
+            if free[bank] < count:
+                return f"{bank}_regs"
         return None
 
     # ---------------------------------------------------------------- issue --
 
     def _ready(self, op: _Op, now: float) -> bool:
+        """Is the op's every input available?  On failure, memoises the
+        exact earliest cycle it could become ready in ``op.wake_at`` (0
+        when some blocking condition has no known time yet), so the issue
+        loop skips re-evaluating it until then.  Completion times never
+        move later once set, which is what makes the memo exact."""
+        wake = 0.0
+        known = True
         producers = op.producers
         if producers:
             remaining = []
-            ready = True
             for entry in producers:
                 producer, early, bonus = entry
                 t = producer.early_complete if early else producer.complete
-                if t is None or t - bonus > now:
+                if t is None:
                     remaining.append(entry)
-                    ready = False
+                    known = False
+                elif t - bonus > now:
+                    remaining.append(entry)
+                    if t - bonus > wake:
+                        wake = t - bonus
             op.producers = remaining
-            if not ready:
+            if remaining:
+                op.wake_at = wake if known else 0.0
                 return False
         if op.stream_waits:
             engine = self.engine
+            blocked = False
             for (_, uid, chunk, __) in op.stream_waits:
-                if engine.chunk_ready(uid, chunk) > now:
-                    return False
+                t = engine.chunk_ready(uid, chunk)
+                if t > now:
+                    blocked = True
+                    if t == math.inf:
+                        known = False
+                    elif t > wake:
+                        wake = t
+            if blocked:
+                op.wake_at = wake if known else 0.0
+                return False
         if op.is_load:
             seq = op.dyn.seq
+            blocked = False
             for line in op.mem_lines:
                 for store in self._store_by_line.get(line, ()):
                     if store.dyn.seq >= seq:
                         break  # stores are appended in rename (seq) order
-                    if store.complete is None or store.complete > now:
-                        return False
+                    t = store.complete
+                    if t is None:
+                        blocked = True
+                        known = False
+                    elif t > now:
+                        blocked = True
+                        if t > wake:
+                            wake = t
+            if blocked:
+                op.wake_at = wake if known else 0.0
+                return False
         return True
 
-    def _issue(self, now: float) -> None:
+    def _issue(self, now: float) -> int:
+        """Issues ready ops; returns how many issued this cycle."""
         core = self.config.core
         budget = core.issue_width
-        ports = {
-            FuCluster.INT: core.int_alus,
-            FuCluster.FP: core.fp_units,
-            FuCluster.MEM: core.load_ports + core.store_ports,
-        }
         store_ports = core.store_ports
         load_ports = core.load_ports
-        for cluster in (FuCluster.MEM, FuCluster.FP, FuCluster.INT):
-            queue = self._sched[cluster]
+        total = 0
+        for queue, is_mem, cluster_ports in self._issue_plan:
             if not queue:
                 continue
-            issued: List[_Op] = []
+            issued = 0
             loads = stores = 0
             for op in queue:
-                if budget <= 0 or len(issued) >= ports[cluster]:
+                if budget <= 0 or issued >= cluster_ports:
                     break
-                if cluster is FuCluster.MEM:
+                if is_mem:
                     if op.is_load and loads >= load_ports:
                         continue
                     if op.is_store and stores >= store_ports:
                         continue
-                if not self._ready(op, now):
+                if op.wake_at > now or not self._ready(op, now):
                     continue
                 self._execute(op, now)
-                issued.append(op)
+                issued += 1
                 budget -= 1
                 if op.is_load:
                     loads += 1
                 elif op.is_store:
                     stores += 1
             if issued:
-                remaining = [op for op in queue if op not in issued]
-                self._sched[cluster] = remaining
-                self._iq -= len(issued)
+                # In-place compaction on the `issued` flag set by
+                # _execute (the old `op not in issued` rebuild rescanned
+                # the whole scheduler per issued op).
+                queue[:] = [op for op in queue if not op.issued]
+                self._iq -= issued
+                total += issued
+        return total
 
     def _execute(self, op: _Op, now: float) -> None:
         dyn = op.dyn
@@ -454,15 +678,18 @@ class Pipeline:
         else:
             op.complete = now + self._latency[dyn.opclass]
 
-    def _drain_post_stores(self, now: float) -> None:
+    def _drain_post_stores(self, now: float) -> bool:
         """Write committed stores to the L1, bounded by the store ports
-        and by L1 MSHR availability (backpressure under saturation)."""
+        and by L1 MSHR availability (backpressure under saturation).
+        Returns True when any store line drained or SQ entry freed."""
+        drained = False
         l1 = self.hierarchy.l1d
         for _ in range(self.config.core.store_ports):
             if not self._post_stores:
-                return
+                return drained
             if not l1.can_accept(now):
-                return
+                return drained
+            drained = True
             op, lines = self._post_stores[0]
             if lines:
                 line = lines.pop(0)
@@ -477,6 +704,7 @@ class Pipeline:
             if not lines:
                 self._post_stores.popleft()
                 self._sq -= 1
+        return drained
 
     # --------------------------------------------------------------- commit --
 
@@ -507,6 +735,14 @@ class Pipeline:
                 if self._rat.get(dest) is op:
                     del self._rat[dest]
             if engine is not None:
+                if dyn.cfg_uid is not None:
+                    # The register now (architecturally) aliases this
+                    # configuration; commit order is program order, so
+                    # this is exactly the "latest config with sequence
+                    # <= any later stop" mapping.
+                    self._stream_alias[
+                        self.stream_infos[dyn.cfg_uid].reg
+                    ] = dyn.cfg_uid
                 if op.stream_waits:
                     for (_, uid, chunk, last) in op.stream_waits:
                         if last:
@@ -518,6 +754,9 @@ class Pipeline:
                 if dyn.opclass is OpClass.STREAM_CTL and dyn.inst is not None:
                     kind = getattr(dyn.inst, "kind", None)
                     if kind == "stop":
-                        for uid, info in self.stream_infos.items():
-                            if info.reg == dyn.inst.u.index:
-                                engine.terminate(uid)
+                        # Terminate only the stream the register aliases
+                        # at this point in program order — never streams
+                        # configured later that reuse the register.
+                        uid = self._stream_alias.pop(dyn.inst.u.index, None)
+                        if uid is not None:
+                            engine.terminate(uid)

@@ -21,6 +21,25 @@ class PipelineStats:
     #: DRAM bus utilization, (ReadBW+WriteBW)/PeakBW (Fig. 8.D)
     bus_utilization: float = 0.0
 
+    def as_dict(self) -> Dict[str, object]:
+        """Every counter as a plain dict — the fast-forward equivalence
+        gate compares these bit-for-bit, and BENCH records embed them."""
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "fetched": self.fetched,
+            "rename_block_cycles": self.rename_block_cycles,
+            "rename_block_causes": dict(
+                sorted(self.rename_block_causes.items())
+            ),
+            "fetch_stall_cycles": self.fetch_stall_cycles,
+            "branch_mispredicts": self.branch_mispredicts,
+            "branches": self.branches,
+            "loads_issued": self.loads_issued,
+            "stores_issued": self.stores_issued,
+            "bus_utilization": self.bus_utilization,
+        }
+
     def block(self, cause: str) -> None:
         self.rename_block_cycles += 1
         self.rename_block_causes[cause] = (

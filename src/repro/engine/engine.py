@@ -13,6 +13,7 @@ what lets miss-speculated iterations re-use buffered data (A3).
 """
 from __future__ import annotations
 
+import bisect
 import math
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
@@ -71,7 +72,9 @@ class StreamingEngine:
         self.streams: Dict[int, EngineStream] = {}
         #: SCROB: stream configurations retire in order, one per cycle.
         self._scrob_free_at = 0.0
-        #: outstanding line-request completion times (Memory Request Queue)
+        #: outstanding line-request completion times (Memory Request
+        #: Queue), kept sorted ascending so expiry is a prefix deletion
+        #: and the backlog bound a bisect instead of full rescans
         self._outstanding: List[float] = []
         #: per-module dimension-switch stall (cycle until which it is busy)
         self._module_busy = [0.0] * config.processing_modules
@@ -124,28 +127,82 @@ class StreamingEngine:
 
     # -- Per-cycle operation -----------------------------------------------------------
 
-    def tick(self, now: float) -> None:
-        """One engine cycle: schedule streams, generate line requests."""
-        self._outstanding = [t for t in self._outstanding if t > now]
-        self._drain_stores(now)
+    def tick(self, now: float) -> bool:
+        """One engine cycle: schedule streams, generate line requests.
 
-        modules = [
-            m for m, busy in enumerate(self._module_busy) if busy <= now
-        ]
-        if modules:
-            pool_free = self._shared_pool_free() if self.config.shared_fifo else None
-            chosen = self.scheduler.select(
-                list(self.streams.values()), len(modules), now,
-                pool_free=pool_free,
-            )
-            for module, stream in zip(modules, chosen):
-                self._generate(stream, module, now)
+        Returns True when any engine state changed (a line request was
+        generated, a store line drained, or a request-queue stall was
+        recorded); False means the engine is quiescent this cycle and
+        the caller may fast-forward over identical cycles."""
+        expired = bisect.bisect_right(self._outstanding, now)
+        if expired:
+            del self._outstanding[:expired]
+        # Drain prechecks inlined: most cycles the queue head is gated on
+        # L1 MSHR availability, so skip the call (not the semantics).
+        sq = self._store_queue
+        progress = (
+            bool(sq)
+            and sq[0][0] <= now
+            and self.hierarchy.l1d.can_accept(now)
+            and self._drain_stores(now) > 0
+        )
+        if self.streams:
+            requests_before = self.stats.line_requests
+            stalls_before = self.stats.request_queue_stalls
+            modules = [
+                m for m, busy in enumerate(self._module_busy) if busy <= now
+            ]
+            if modules:
+                pool_free = (
+                    self._shared_pool_free() if self.config.shared_fifo else None
+                )
+                chosen = self.scheduler.select(
+                    self.streams.values(), len(modules), now,
+                    pool_free=pool_free,
+                )
+                for module, stream in zip(modules, chosen):
+                    self._generate(stream, module, now)
+            if (
+                self.stats.line_requests != requests_before
+                or self.stats.request_queue_stalls != stalls_before
+            ):
+                progress = True
 
-        if self.stats.occupancy_samples < (1 << 30):
+        stats = self.stats
+        if stats.occupancy_samples < (1 << 30):
+            samples = occupancy = 0
             for stream in self.streams.values():
                 if stream.is_load and not stream.terminated:
-                    self.stats.occupancy_samples += 1
-                    self.stats.occupancy_total += stream.fifo_occupancy()
+                    samples += 1
+                    # inlined fifo_occupancy() for load streams
+                    occupancy += stream.gen_next - stream.commit_head
+            stats.occupancy_samples += samples
+            stats.occupancy_total += occupancy
+        return progress
+
+    def skip_idle(self, cycles: int) -> None:
+        """Back-fill the per-cycle FIFO-occupancy sampling for ``cycles``
+        skipped quiescent cycles (event-horizon fast-forward).  The
+        caller guarantees no engine state changes across the skipped
+        range, so every skipped cycle would have sampled exactly the
+        occupancy visible now — ``mean_fifo_occupancy`` stays identical
+        to a cycle-by-cycle simulation."""
+        if cycles <= 0:
+            return
+        stats = self.stats
+        samples = occupancy = 0
+        for stream in self.streams.values():
+            if stream.is_load and not stream.terminated:
+                samples += 1
+                occupancy += stream.gen_next - stream.commit_head
+        if not samples or stats.occupancy_samples >= (1 << 30):
+            return
+        # Mirror tick()'s cap semantics: a cycle samples every stream iff
+        # its starting sample count is below the cap.
+        headroom = (1 << 30) - stats.occupancy_samples
+        sampling_cycles = min(cycles, -(-headroom // samples))
+        stats.occupancy_samples += sampling_cycles * samples
+        stats.occupancy_total += sampling_cycles * occupancy
 
     def _generate(self, stream: EngineStream, module: int, now: float) -> None:
         line = stream.next_line_request()
@@ -167,8 +224,9 @@ class StreamingEngine:
         # therefore only fills when generation outpaces the ports, which
         # the per-module one-line-per-cycle limit already prevents.  A
         # safety bound keeps pathological bursts from bypassing it.
-        recent = [t for t in self._outstanding if t > now + 60]
-        if len(recent) >= 4 * self.config.memory_request_queue:
+        outstanding = self._outstanding
+        backlog = len(outstanding) - bisect.bisect_right(outstanding, now + 60)
+        if backlog >= 4 * self.config.memory_request_queue:
             self.stats.request_queue_stalls += 1
             return
         # TLB translation through the engine's arbiter (A2: streams cross
@@ -181,7 +239,7 @@ class StreamingEngine:
         completion = self.hierarchy.stream_read(
             line, now + 1 + delay, self._level_of(stream)
         )
-        self._outstanding.append(completion)
+        bisect.insort(self._outstanding, completion)
         self.stats.line_requests += 1
         finished_chunk = stream.line_issued(completion)
         if finished_chunk is not None:
@@ -253,17 +311,19 @@ class StreamingEngine:
         if stream is not None:
             stream.terminate()
 
-    def _drain_stores(self, now: float) -> None:
+    def _drain_stores(self, now: float) -> int:
         """Issue queued stream stores, one per store port per cycle; the
-        L1 applies backpressure through MSHR availability."""
+        L1 applies backpressure through MSHR availability.  Returns the
+        number of lines drained this cycle."""
+        drained = 0
         for _ in range(self.config.store_ports):
             if not self._store_queue:
-                return
+                return drained
             ready, line, level = self._store_queue[0]
             if ready > now:
-                return
+                return drained
             if not self.hierarchy.l1d.can_accept(now):
-                return
+                return drained
             self._store_queue.popleft()
             stream = self._store_meta.popleft()
             done = self.hierarchy.stream_write(line, now, level)
@@ -271,6 +331,8 @@ class StreamingEngine:
                 stream.drain_store()
             self.stats.store_lines += 1
             self.last_drain_cycle = max(self.last_drain_cycle, done)
+            drained += 1
+        return drained
 
     @property
     def stores_pending(self) -> bool:

@@ -7,7 +7,7 @@ policy is provided for the ablation benchmark.
 """
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List
 
 from repro.engine.table import EngineStream
 from repro.errors import ConfigError
@@ -22,7 +22,7 @@ class StreamScheduler:
 
     def select(
         self,
-        streams: List[EngineStream],
+        streams: Iterable[EngineStream],
         count: int,
         now: float,
         pool_free=None,
@@ -42,11 +42,21 @@ class StreamScheduler:
                 and (s.fifo_occupancy() < s.fifo_depth or pool_free > 0)
             ]
         else:
-            eligible = [s for s in streams if s.wants_generation(now)]
+            # Inlined EngineStream.wants_generation (hot path: called for
+            # every stream on every active engine cycle).
+            eligible = [
+                s for s in streams
+                if s.is_load
+                and not s.terminated
+                and now >= s.start_cycle
+                and s.gen_next < s.num_chunks
+                and s.gen_next - s.commit_head < s.fifo_depth
+            ]
         if not eligible:
             return []
         if self.policy == "fifo-occupancy":
-            eligible.sort(key=lambda s: (s.fifo_occupancy(), s.info.uid))
+            if len(eligible) > 1:  # the hot path is a single ready stream
+                eligible.sort(key=lambda s: (s.fifo_occupancy(), s.uid))
             return eligible[:count]
         # Round-robin: rotate the starting point each cycle.
         start = self._rr_next % len(eligible)

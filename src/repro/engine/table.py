@@ -44,6 +44,10 @@ class EngineStream:
         self.fifo_depth = fifo_depth
         self.line_bytes = line_bytes
         self.start_cycle = start_cycle
+        # Cached from info: read on the per-cycle scheduler/sampling hot
+        # paths, where the double property hop shows up in profiles.
+        self.uid = info.uid
+        self.is_load = info.is_load
 
         self.num_chunks = len(info.chunks)
         #: chunk index the address generator will fetch next (loads) or
@@ -62,10 +66,6 @@ class EngineStream:
         self.terminated = False
 
     # -- Occupancy / scheduling ------------------------------------------------
-
-    @property
-    def is_load(self) -> bool:
-        return self.info.is_load
 
     def fifo_occupancy(self) -> int:
         """Entries currently held (fetched or reserved, not yet freed)."""

@@ -1,0 +1,289 @@
+"""Simulator-performance micro-benchmark (wall clock, not model output).
+
+Measures the pure timing loop — :meth:`Pipeline.run` over a fully
+materialised dynamic trace — with the event-horizon fast-forward on and
+off, and checks that both produce bit-identical :class:`PipelineStats`.
+The functional pass is deliberately excluded: it is shared by both
+configurations and would only dilute the quantity being optimised (the
+per-cycle Python loop in ``Pipeline.run`` / ``StreamingEngine.tick``).
+
+Run as a module to (re)generate the repo's ``BENCH_sim.json``::
+
+    PYTHONPATH=src python -m repro.harness.bench --json BENCH_sim.json
+
+CI runs this and uploads the artifact; ``benchmarks/test_perf.py`` wraps
+it under pytest-benchmark.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cpu.config import MachineConfig, baseline_machine, uve_machine
+from repro.cpu.pipeline import Pipeline
+from repro.kernels import get_kernel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.functional import FunctionalSimulator
+
+#: kernel × ISA pairs benchmarked by default: the two memory-bound
+#: kernels the acceptance gate names, on both machine flavours
+DEFAULT_CASES: Tuple[Tuple[str, str], ...] = (
+    ("stream", "uve"),
+    ("memcpy", "uve"),
+    ("memcpy", "sve"),
+)
+
+
+@dataclass
+class MaterializedRun:
+    """A trace replay decoupled from the functional simulator."""
+
+    kernel: str
+    isa: str
+    config: MachineConfig
+    trace: List
+    stream_infos: Dict
+    mem_bytes: int
+
+
+def materialize(
+    kernel_name: str, isa: str, scale: float = 1.0, seed: int = 0
+) -> MaterializedRun:
+    """Run the functional passes once and capture the dynamic trace, so
+    repeated timing runs measure only the timing model."""
+    kernel = get_kernel(kernel_name)
+    wl = kernel.workload(seed=seed, scale=scale)
+    cfg = uve_machine() if isa == "uve" else baseline_machine()
+    program = kernel.build(isa, wl, cfg.vector_bits)
+    snapshot = wl.memory.data.copy()
+    first = FunctionalSimulator(
+        program, memory=wl.memory, vector_bits=cfg.vector_bits
+    )
+    summary = first.run()
+    np.copyto(wl.memory.data, snapshot)
+    second = FunctionalSimulator(
+        program, memory=wl.memory, vector_bits=cfg.vector_bits
+    )
+    trace = list(second.trace())
+    return MaterializedRun(
+        kernel=kernel_name,
+        isa=isa,
+        config=cfg,
+        trace=trace,
+        stream_infos=dict(summary.streams),
+        mem_bytes=wl.memory._brk,
+    )
+
+
+def time_run(mat: MaterializedRun, fast_forward: bool) -> Tuple[float, Pipeline]:
+    """One timed ``Pipeline.run`` over the materialised trace; returns
+    (wall seconds, finished pipeline)."""
+    cfg = mat.config.with_(fast_forward=fast_forward)
+    hierarchy = MemoryHierarchy(cfg)
+    hierarchy.warm(0, mat.mem_bytes)
+    pipeline = Pipeline(cfg, hierarchy, dict(mat.stream_infos))
+    start = time.perf_counter()
+    pipeline.run(iter(mat.trace))
+    return time.perf_counter() - start, pipeline
+
+
+def bench_case(
+    kernel: str, isa: str, scale: float = 1.0, repeats: int = 2
+) -> Dict[str, object]:
+    """Benchmark one kernel × ISA: fast-forward off vs on (best-of-N),
+    verifying that both produce identical PipelineStats."""
+    mat = materialize(kernel, isa, scale=scale)
+    off_s, off_pipe = min(
+        (time_run(mat, fast_forward=False) for _ in range(repeats)),
+        key=lambda r: r[0],
+    )
+    on_s, on_pipe = min(
+        (time_run(mat, fast_forward=True) for _ in range(repeats)),
+        key=lambda r: r[0],
+    )
+    off_stats = off_pipe.stats.as_dict()
+    on_stats = on_pipe.stats.as_dict()
+    if off_stats != on_stats:
+        raise AssertionError(
+            f"fast-forward changed PipelineStats for {kernel}/{isa}: "
+            f"{off_stats} != {on_stats}"
+        )
+    cycles = off_pipe.stats.cycles
+    engine = on_pipe.engine
+    occ_off = (
+        off_pipe.engine.stats.mean_fifo_occupancy
+        if off_pipe.engine is not None
+        else 0.0
+    )
+    occ_on = engine.stats.mean_fifo_occupancy if engine is not None else 0.0
+    if occ_off != occ_on:
+        raise AssertionError(
+            f"fast-forward changed mean_fifo_occupancy for {kernel}/{isa}: "
+            f"{occ_off} != {occ_on}"
+        )
+    return {
+        "kernel": kernel,
+        "isa": isa,
+        "scale": scale,
+        "cycles": cycles,
+        "committed": off_pipe.stats.committed,
+        "wall_s_off": round(off_s, 4),
+        "wall_s_on": round(on_s, 4),
+        "cycles_per_sec_off": round(cycles / off_s, 1),
+        "cycles_per_sec_on": round(cycles / on_s, 1),
+        "speedup": round(off_s / on_s, 3),
+        "skipped_cycles": on_pipe.ff_skipped_cycles,
+        "skipped_fraction": round(on_pipe.ff_skipped_cycles / cycles, 4),
+        "stats_identical": True,
+    }
+
+
+#: stand-alone script run under PYTHONPATH=<baseline>/src — times the
+#: *baseline tree's own* Pipeline.run on the same materialised workload
+#: (the functional side is deterministic and shared, so the traces match)
+_BASELINE_SNIPPET = r"""
+import json, sys, time
+import numpy as np
+from repro.cpu.config import uve_machine, baseline_machine
+from repro.cpu.pipeline import Pipeline
+from repro.kernels import get_kernel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.functional import FunctionalSimulator
+
+kern, isa, scale, repeats = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), int(sys.argv[4])
+)
+kernel = get_kernel(kern)
+wl = kernel.workload(seed=0, scale=scale)
+cfg = uve_machine() if isa == "uve" else baseline_machine()
+program = kernel.build(isa, wl, cfg.vector_bits)
+snap = wl.memory.data.copy()
+summary = FunctionalSimulator(
+    program, memory=wl.memory, vector_bits=cfg.vector_bits
+).run()
+np.copyto(wl.memory.data, snap)
+second = FunctionalSimulator(
+    program, memory=wl.memory, vector_bits=cfg.vector_bits
+)
+trace = list(second.trace())
+best, stats = None, None
+for _ in range(repeats):
+    h = MemoryHierarchy(cfg)
+    h.warm(0, wl.memory._brk)
+    p = Pipeline(cfg, h, dict(summary.streams))
+    t0 = time.perf_counter()
+    p.run(iter(trace))
+    dt = time.perf_counter() - t0
+    if best is None or dt < best:
+        best, stats = dt, p.stats
+print(json.dumps(
+    {"wall_s": best, "cycles": stats.cycles, "committed": stats.committed}
+))
+"""
+
+
+def time_baseline(
+    baseline_src: str, kernel: str, isa: str, scale: float, repeats: int
+) -> Dict[str, object]:
+    """Time ``Pipeline.run`` of another source tree (e.g. a git worktree
+    of the pre-fast-forward commit) on the same case, in a subprocess."""
+    env = dict(os.environ, PYTHONPATH=baseline_src)
+    out = subprocess.run(
+        [sys.executable, "-c", _BASELINE_SNIPPET, kernel, isa,
+         str(scale), str(repeats)],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def run_benchmarks(
+    cases=DEFAULT_CASES,
+    scale: float = 1.0,
+    repeats: int = 2,
+    baseline_src: Optional[str] = None,
+    baseline_ref: str = "",
+) -> Dict[str, object]:
+    runs = [bench_case(k, isa, scale=scale, repeats=repeats) for k, isa in cases]
+    out: Dict[str, object] = {
+        "benchmark": "timing-loop wall clock, fast-forward off vs on",
+        "scale": scale,
+        "repeats": repeats,
+        "runs": runs,
+        "max_speedup": max(r["speedup"] for r in runs),
+    }
+    if baseline_src:
+        for run in runs:
+            base = time_baseline(
+                baseline_src, run["kernel"], run["isa"], scale, repeats
+            )
+            if base["cycles"] != run["cycles"]:
+                raise AssertionError(
+                    f"baseline tree simulated different cycles for "
+                    f"{run['kernel']}/{run['isa']}: "
+                    f"{base['cycles']} != {run['cycles']}"
+                )
+            run["wall_s_baseline"] = round(base["wall_s"], 4)
+            run["speedup_vs_baseline"] = round(
+                base["wall_s"] / run["wall_s_on"], 3
+            )
+        out["baseline_ref"] = baseline_ref
+        out["max_speedup_vs_baseline"] = max(
+            r["speedup_vs_baseline"] for r in runs
+        )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", default=None, help="write the results to this JSON file"
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--cases",
+        default=None,
+        help="comma-separated kernel/isa pairs, e.g. stream/uve,memcpy/sve",
+    )
+    parser.add_argument(
+        "--baseline-src",
+        default=None,
+        help="PYTHONPATH of another source tree (e.g. a git worktree of "
+        "the pre-fast-forward commit) to time as a baseline",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="",
+        help="label recorded for the baseline tree (e.g. its git rev)",
+    )
+    args = parser.parse_args(argv)
+    cases = DEFAULT_CASES
+    if args.cases:
+        cases = tuple(
+            tuple(pair.split("/", 1)) for pair in args.cases.split(",")
+        )
+    results = run_benchmarks(
+        cases,
+        scale=args.scale,
+        repeats=args.repeats,
+        baseline_src=args.baseline_src,
+        baseline_ref=args.baseline_ref,
+    )
+    text = json.dumps(results, indent=2)
+    print(text)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

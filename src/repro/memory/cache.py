@@ -9,6 +9,7 @@ only from evictions and upgrades).
 """
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from typing import List, Optional
 
@@ -102,6 +103,17 @@ class Cache:
             if t > now:
                 live += 1
         return live < self.config.mshrs
+
+    def next_mshr_free(self, now: float) -> float:
+        """Earliest future in-flight fill completion — the soonest cycle
+        ``can_accept`` can change its answer (``inf`` when nothing is in
+        flight).  Event-horizon introspection for the fast-forward path;
+        claims nothing."""
+        best = math.inf
+        for t in self._mshr_ready:
+            if now < t < best:
+                best = t
+        return best
 
     def _reserve_mshr(self, start: float, ready: float) -> float:
         """Returns the (possibly delayed) start once an MSHR frees up."""

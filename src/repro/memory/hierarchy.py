@@ -81,6 +81,14 @@ class MemoryHierarchy:
         # The evaluated implementation forces stream stores to the L1.
         return self.l1d.access(line, now, True)
 
+    # -- Event horizons ---------------------------------------------------------
+
+    def l1_accept_horizon(self, now: float) -> float:
+        """Earliest cycle a posted store blocked on ``l1d.can_accept``
+        could be accepted (``inf`` when no in-flight fill will free an
+        MSHR) — used by the pipeline's event-horizon fast-forward."""
+        return self.l1d.next_mshr_free(now)
+
     # -- Warmup ---------------------------------------------------------------
 
     def warm(self, base: int, nbytes: int) -> None:

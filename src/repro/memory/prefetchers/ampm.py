@@ -48,29 +48,33 @@ class AmpmPrefetcher:
 
     def observe(self, pc: int, addr: int) -> List[int]:
         """Record a demand access; return line addresses to prefetch."""
+        lpz = self.lines_per_zone
         line = addr // self.line_bytes
-        zone = line // self.lines_per_zone
-        offset = line % self.lines_per_zone
+        zone = line // lpz
+        offset = line % lpz
         bitmap = self._bitmap(zone)
         self._zones[zone] = bitmap | (1 << offset)
-
-        def accessed(index: int) -> bool:
-            if 0 <= index < self.lines_per_zone:
-                return bool(bitmap & (1 << index))
-            return False
-
         out: List[int] = []
+        degree = self.degree
+        base = zone * lpz
+        # Stride scan on the raw bitmap (a per-call closure here shows up
+        # on the simulator's hot path — every L2 demand access).
         for stride in _CANDIDATE_STRIDES:
-            if accessed(offset - stride) and accessed(offset - 2 * stride):
-                for k in range(1, self.degree + 1):
-                    target = offset + k * stride
-                    if 0 <= target < self.lines_per_zone:
-                        candidate = zone * self.lines_per_zone + target
-                        if candidate not in out:
-                            out.append(candidate)
-                    if len(out) >= self.degree:
-                        break
-            if len(out) >= self.degree:
+            index = offset - stride
+            if not (0 <= index < lpz and (bitmap >> index) & 1):
+                continue
+            index = offset - 2 * stride
+            if not (0 <= index < lpz and (bitmap >> index) & 1):
+                continue
+            for k in range(1, degree + 1):
+                target = offset + k * stride
+                if 0 <= target < lpz:
+                    candidate = base + target
+                    if candidate not in out:
+                        out.append(candidate)
+                if len(out) >= degree:
+                    break
+            if len(out) >= degree:
                 break
         self.issued += len(out)
         return out

@@ -17,18 +17,21 @@ class SlotReservoir:
             raise ValueError("lanes >= 1 and slot_cycles > 0 required")
         self.lanes = lanes
         self.slot_cycles = slot_cycles
+        self._unit = slot_cycles == 1.0  # cache ports: skip the division
         self._busy = {}  # slot index -> reservations
         self._reserves = 0
         self._low_watermark = 0
 
     def reserve(self, t: float) -> float:
         """Claim the first free slot at or after ``t``; returns its start."""
-        index = int(t / self.slot_cycles)
+        index = int(t) if self._unit else int(t / self.slot_cycles)
         busy = self._busy
         lanes = self.lanes
-        while busy.get(index, 0) >= lanes:
+        count = busy.get(index, 0)
+        while count >= lanes:
             index += 1
-        busy[index] = busy.get(index, 0) + 1
+            count = busy.get(index, 0)
+        busy[index] = count + 1
         self._reserves += 1
         if self._reserves % 8192 == 0:
             self._prune(index)
@@ -41,6 +44,14 @@ class SlotReservoir:
             return
         self._busy = {k: v for k, v in self._busy.items() if k >= horizon}
         self._low_watermark = horizon
+
+    def next_free(self, t: float) -> float:
+        """Start time a reservation made at ``t`` would get, without
+        claiming the slot (event-horizon introspection)."""
+        index = int(t / self.slot_cycles)
+        while self._busy.get(index, 0) >= self.lanes:
+            index += 1
+        return max(t, index * self.slot_cycles)
 
     def occupancy(self, t: float) -> int:
         """Reservations in the slot containing ``t`` (introspection)."""

@@ -1,0 +1,61 @@
+"""Regression tests for ``ss.stop`` stream termination.
+
+``ss.stop`` must terminate only the stream its register *currently*
+aliases in architectural (commit) order.  The historical bug terminated
+the stream most recently configured on the register — so stopping an
+abandoned stream and immediately reconfiguring the same ``u`` register
+killed the *new* stream, silently truncating its transfers.
+"""
+import numpy as np
+
+from repro.cpu.config import uve_machine
+from repro.isa import ProgramBuilder, u
+from repro.isa import scalar_ops as sc
+from repro.isa import uve_ops as uve
+from repro.memory.backing import Memory
+from repro.sim.simulator import Simulator
+from repro.streams.pattern import Direction
+
+
+def test_stop_then_reconfigure_same_register():
+    """Two back-to-back streams on the same ``u`` register: the stop of
+    the first must not touch the second."""
+    n = 64
+    mem = Memory(1 << 20)
+    src = mem.alloc_array(np.arange(n, dtype=np.float32))
+    dst = mem.alloc_array(np.zeros(n, dtype=np.float32))
+
+    b = ProgramBuilder("stop-alias")
+    # First pair (uids 0, 1): abandoned after a single chunk.
+    b.emit(
+        uve.SsConfig1D(u(0), Direction.LOAD, src // 4, n, 1),
+        uve.SsConfig1D(u(1), Direction.STORE, dst // 4, n, 1),
+        uve.SoMove(u(1), u(0)),
+        uve.SsCtl("stop", u(0)),
+        uve.SsCtl("stop", u(1)),
+    )
+    # Second pair (uids 2, 3) on the SAME registers: full copy.
+    b.emit(
+        uve.SsConfig1D(u(0), Direction.LOAD, src // 4, n, 1),
+        uve.SsConfig1D(u(1), Direction.STORE, dst // 4, n, 1),
+    )
+    b.label("loop")
+    b.emit(
+        uve.SoMove(u(1), u(0)),
+        uve.SoBranchEnd(u(0), "loop", negate=True),
+        sc.Halt(),
+    )
+
+    result = Simulator(b.build(), mem, uve_machine()).run()
+
+    # Functional: the second stream pair copied the whole array.
+    out = mem.data[dst:dst + 4 * n].view(np.float32)
+    assert np.array_equal(out, np.arange(n, dtype=np.float32))
+
+    # Timing: the stops terminated exactly the first pair of streams.
+    streams = result.pipeline.engine.streams
+    assert streams[0].terminated and streams[1].terminated
+    assert not streams[2].terminated and not streams[3].terminated
+    # ... and the replacement streams ran to architectural completion.
+    assert streams[2].commit_head == streams[2].num_chunks
+    assert streams[3].store_drained == streams[3].num_chunks

@@ -1,0 +1,35 @@
+"""Cross-ISA differential fuzzing for the UVE reproduction.
+
+The subsystem samples loop-nest specifications (:mod:`repro.fuzz.spec`,
+:mod:`repro.fuzz.generator`) inside the hardware limits of the Streaming
+Engine, lowers each spec to four independently-written programs — UVE
+(descriptor streams), SVE-like (predicated vector loops), NEON-like
+(fixed-width loops + scalar tails) and scalar (explicit address
+arithmetic) — plus a NumPy reference (:mod:`repro.fuzz.lowering`,
+:mod:`repro.fuzz.reference`), and checks that all of them compute the
+same result (:mod:`repro.fuzz.oracle`).  Failures are delta-debugged to
+minimal reproducers (:mod:`repro.fuzz.shrinker`) and persisted as
+replayable JSON cases (:mod:`repro.fuzz.corpus`).
+
+Campaigns run in parallel with an on-disk result cache
+(:mod:`repro.fuzz.campaign`); the CLI lives in ``python -m repro.fuzz``.
+"""
+from repro.fuzz.corpus import load_case, save_case
+from repro.fuzz.generator import generate_spec
+from repro.fuzz.oracle import CaseReport, run_case
+from repro.fuzz.shrinker import shrink
+from repro.fuzz.spec import ArraySpec, CaseSpec, IndirectSpec, ModSpec, OpStep
+
+__all__ = [
+    "ArraySpec",
+    "CaseSpec",
+    "CaseReport",
+    "IndirectSpec",
+    "ModSpec",
+    "OpStep",
+    "generate_spec",
+    "load_case",
+    "run_case",
+    "save_case",
+    "shrink",
+]

@@ -1,0 +1,191 @@
+"""Command-line entry point: ``python -m repro.fuzz``.
+
+Fuzz campaign (default):
+
+    python -m repro.fuzz --seed 0 --cases 500 --jobs 4
+
+Validate the oracle against a deliberately broken UVE lowering, writing
+shrunk reproducers to the corpus:
+
+    python -m repro.fuzz --seed 0 --cases 200 --inject uve-mod-extra-count \\
+        --corpus tests/fuzz/corpus
+
+Replay committed reproducers (what the tier-1 suite does):
+
+    python -m repro.fuzz --replay tests/fuzz/corpus
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.fuzz.campaign import fuzz_cache, run_campaign
+from repro.fuzz.corpus import load_case
+from repro.fuzz.lowering import INJECTIONS
+from repro.fuzz.oracle import run_case
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description=(
+            "Cross-ISA differential fuzzer: random loop-nest cases are "
+            "lowered to UVE, SVE, NEON, and scalar programs, run through "
+            "the functional simulator, and compared against a NumPy "
+            "reference and each other."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--cases", type=int, default=500, help="number of cases to run"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    parser.add_argument(
+        "--inject",
+        choices=sorted(INJECTIONS),
+        default=None,
+        help="distort the UVE lowering to validate the oracle",
+    )
+    parser.add_argument(
+        "--timing-every",
+        type=int,
+        default=10,
+        metavar="K",
+        help="run timing invariants on every K-th case (0 = never)",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging failures down to minimal reproducers",
+    )
+    parser.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write shrunk reproducers to this directory",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, help="result-cache root"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--max-elems",
+        type=int,
+        default=1024,
+        help="cap on elements iterated per case",
+    )
+    parser.add_argument(
+        "--replay",
+        type=Path,
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="replay corpus file(s)/dir(s) instead of fuzzing",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def _replay(paths: List[Path], verbose: bool) -> int:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.json")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"fuzz: no such corpus path: {path}", file=sys.stderr)
+            return 1
+    if not files:
+        print("fuzz: no corpus files to replay", file=sys.stderr)
+        return 1
+    bad = 0
+    for fpath in files:
+        spec, meta = load_case(fpath)
+        inject = meta.get("inject")
+        report = run_case(spec, inject=inject)
+        if inject:
+            # Injected reproducers prove detection power: the oracle must
+            # still catch the distorted lowering.
+            ok = not report.ok
+            expectation = f"inject={inject}, expect caught"
+        else:
+            # Organic reproducers are regression guards: fixed means fixed.
+            ok = report.ok
+            expectation = "expect clean"
+        status = "ok  " if ok else "FAIL"
+        print(f"{status} {fpath.name} ({expectation})")
+        if not ok and verbose:
+            for failure in report.failures:
+                print(f"     {failure.isa}: {failure.kind}: {failure.detail}")
+        bad += 0 if ok else 1
+    print(f"fuzz: replayed {len(files)} corpus case(s), {bad} unexpected")
+    return 1 if bad else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.replay:
+        return _replay(args.replay, args.verbose)
+
+    cache = None if args.no_cache else fuzz_cache(args.cache_dir)
+    started = time.time()
+
+    def progress(report) -> None:
+        if args.verbose:
+            state = "ok" if report["ok"] else "FAIL"
+            spec = report["spec"]
+            print(
+                f"  case {report['index']:>5} {state:<4} "
+                f"{spec['family']}/{spec['etype']} sizes={spec['sizes']}"
+            )
+
+    summary = run_campaign(
+        seed=args.seed,
+        cases=args.cases,
+        jobs=args.jobs,
+        inject=args.inject,
+        timing_every=args.timing_every,
+        shrink_failures=not args.no_shrink,
+        corpus_dir=args.corpus,
+        cache=cache,
+        max_elems=args.max_elems,
+        progress=progress,
+    )
+    elapsed = time.time() - started
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"fuzz: seed={summary.seed} cases={summary.cases} "
+            f"inject={summary.inject or 'none'}: "
+            f"{len(summary.failures)} failing case(s), "
+            f"{summary.timing_checked} timing-checked, "
+            f"{summary.cache_hits} cache hit(s) in {elapsed:.1f}s"
+        )
+        for path in summary.corpus_files:
+            print(f"  reproducer: {path}")
+    if args.inject is not None:
+        if not summary.failures:
+            print(
+                "fuzz: warning: injection was not caught by any case",
+                file=sys.stderr,
+            )
+        return 0
+    return 0 if summary.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

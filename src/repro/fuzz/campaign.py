@@ -1,0 +1,191 @@
+"""Parallel fuzz campaigns with a persistent result cache.
+
+A campaign is ``cases`` independently generated specs from one seed.
+Case ``index`` is a pure function of ``(seed, index)``, so sharding the
+campaign across a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``--jobs N``) cannot change which cases run — only how fast.
+
+Results ride the PR-1 harness machinery: each case's oracle verdict is
+stored in the :class:`~repro.harness.diskcache.ResultCache` (as a
+schemaless dict payload) under a fingerprint of the spec plus the
+oracle configuration, salted with the code-version hash — so re-running
+a campaign after a harness-only edit is instant, while any simulator or
+fuzzer change invalidates every cached verdict.
+
+Failures are shrunk in the parent process (delta debugging is
+inherently sequential) and written to the corpus directory for
+replay by the tier-1 suite.
+"""
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.fuzz.corpus import case_filename, save_case
+from repro.fuzz.generator import generate_spec
+from repro.fuzz.oracle import CaseReport, run_case
+from repro.fuzz.shrinker import shrink
+from repro.fuzz.spec import CaseSpec
+from repro.harness.diskcache import ResultCache, code_version_salt
+from repro.harness.fingerprint import fingerprint
+
+#: bump to invalidate cached verdicts on oracle-protocol changes.
+ORACLE_VERSION = 1
+
+
+def case_key(spec: CaseSpec, inject: Optional[str], timing: bool) -> str:
+    """Cache key of one case's oracle verdict."""
+    return fingerprint(
+        {
+            "fuzz": ORACLE_VERSION,
+            "spec": spec.to_dict(),
+            "inject": inject,
+            "timing": timing,
+        }
+    )
+
+
+def fuzz_cache(root: Optional[Path] = None) -> ResultCache:
+    """The fuzz verdict cache (dict payloads, code-version salted)."""
+    return ResultCache(root=root, salt=code_version_salt(), record_cls=dict)
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate outcome of one campaign."""
+
+    seed: int
+    cases: int
+    inject: Optional[str]
+    failures: List[Dict] = field(default_factory=list)  # per-case report dicts
+    shrunk: List[Dict] = field(default_factory=list)  # shrunk spec dicts
+    corpus_files: List[str] = field(default_factory=list)
+    timing_checked: int = 0
+    cache_hits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "inject": self.inject,
+            "ok": self.ok,
+            "failures": self.failures,
+            "shrunk": self.shrunk,
+            "corpus_files": self.corpus_files,
+            "timing_checked": self.timing_checked,
+            "cache_hits": self.cache_hits,
+        }
+
+
+def _run_index(
+    seed: int,
+    index: int,
+    inject: Optional[str],
+    timing_every: int,
+    max_elems: int,
+) -> Dict:
+    """One case, as a picklable dict (process-pool worker entry)."""
+    spec = generate_spec(seed, index, max_elems=max_elems)
+    check_timing = timing_every > 0 and index % timing_every == 0
+    report = run_case(spec, inject=inject, check_timing=check_timing)
+    out = report.to_dict()
+    out["index"] = index
+    return out
+
+
+def run_campaign(
+    seed: int,
+    cases: int,
+    jobs: int = 1,
+    inject: Optional[str] = None,
+    timing_every: int = 10,
+    shrink_failures: bool = True,
+    corpus_dir: Optional[Path] = None,
+    cache: Optional[ResultCache] = None,
+    max_elems: int = 1024,
+    progress: Optional[Callable[[Dict], None]] = None,
+) -> CampaignSummary:
+    """Run ``cases`` cases of campaign ``seed`` and collect verdicts.
+
+    ``progress`` (if given) receives each case's report dict as it
+    completes — out of order under ``jobs > 1``.
+    """
+    summary = CampaignSummary(seed=seed, cases=cases, inject=inject)
+    pending: List[int] = []
+    reports: Dict[int, Dict] = {}
+    keys: Dict[int, str] = {}
+    for index in range(cases):
+        spec = generate_spec(seed, index, max_elems=max_elems)
+        check_timing = timing_every > 0 and index % timing_every == 0
+        key = case_key(spec, inject, check_timing)
+        keys[index] = key
+        cached = cache.load(key) if cache is not None else None
+        if cached is not None:
+            cached = dict(cached)
+            cached["index"] = index
+            reports[index] = cached
+            summary.cache_hits += 1
+        else:
+            pending.append(index)
+
+    def finish(report: Dict) -> None:
+        index = report["index"]
+        reports[index] = report
+        if cache is not None:
+            body = dict(report)
+            body.pop("index", None)
+            cache.store(keys[index], body)
+        if progress is not None:
+            progress(report)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for index in pending:
+            finish(_run_index(seed, index, inject, timing_every, max_elems))
+    else:
+        workers = min(jobs, len(pending), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_index, seed, index, inject, timing_every, max_elems
+                )
+                for index in pending
+            ]
+            for future in as_completed(futures):
+                finish(future.result())
+
+    for index in range(cases):
+        report = reports[index]
+        if report.get("timing_checked"):
+            summary.timing_checked += 1
+        if report["ok"]:
+            continue
+        summary.failures.append(report)
+        if not shrink_failures:
+            continue
+        spec = CaseSpec.from_dict(report["spec"])
+        small = shrink(spec, lambda s: not run_case(s, inject=inject).ok)
+        small_report = run_case(small, inject=inject)
+        summary.shrunk.append(small.to_dict())
+        if corpus_dir is not None:
+            path = Path(corpus_dir) / case_filename(small, inject)
+            save_case(
+                path,
+                small,
+                meta={
+                    "campaign_seed": seed,
+                    "case_index": index,
+                    "inject": inject,
+                    "failures": [
+                        fl.to_dict() for fl in small_report.failures
+                    ],
+                },
+            )
+            summary.corpus_files.append(str(path))
+    return summary

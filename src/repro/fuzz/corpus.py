@@ -1,0 +1,56 @@
+"""Replayable failure corpus.
+
+Every failing case the fuzzer finds is shrunk and written as one JSON
+file — the spec plus discovery metadata (campaign seed, injection,
+failure kinds).  Corpus files are committed under ``tests/fuzz/corpus``
+and replayed by the tier-1 suite (``tests/fuzz/test_corpus.py``), so a
+once-found bug permanently guards against regression.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.fuzz.spec import CaseSpec
+
+#: schema version of corpus files; bump on incompatible spec changes.
+CORPUS_FORMAT = 1
+
+
+def case_filename(spec: CaseSpec, inject: Optional[str] = None) -> str:
+    """Deterministic, content-addressed corpus file name."""
+    key = json.dumps(
+        {"spec": spec.to_dict(), "inject": inject}, sort_keys=True
+    )
+    digest = hashlib.sha256(key.encode()).hexdigest()[:12]
+    return f"{spec.family}-{digest}.json"
+
+
+def save_case(
+    path: Union[str, Path],
+    spec: CaseSpec,
+    meta: Optional[Dict] = None,
+) -> Path:
+    """Write one corpus entry; returns the path written."""
+    path = Path(path)
+    payload = {
+        "format": CORPUS_FORMAT,
+        "spec": spec.to_dict(),
+        "meta": dict(meta or {}),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: Union[str, Path]) -> Tuple[CaseSpec, Dict]:
+    """Read one corpus entry back as ``(spec, meta)``."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != CORPUS_FORMAT:
+        raise ValueError(
+            f"{path}: corpus format {data.get('format')!r}, "
+            f"expected {CORPUS_FORMAT}"
+        )
+    return CaseSpec.from_dict(data["spec"]), dict(data.get("meta", {}))

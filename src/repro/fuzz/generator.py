@@ -1,0 +1,228 @@
+"""Seeded, reproducible sampling of fuzz case specs.
+
+``generate_spec(seed, index)`` is a pure function of its arguments:
+case ``index`` of campaign ``seed`` is always the same spec, regardless
+of how many worker processes the campaign is sharded across.  The
+sampler covers the UVE configuration space the paper exercises — loop
+nests up to three dimensions, per-array strides/offsets, static
+modifiers (offset/size/stride) within the ``streams.limits`` bounds,
+indirect gather/scatter levels, four element types, three vector
+lengths, predication, and compute-op chains — while enforcing the
+constraints that keep a case well-defined for *every* backend:
+
+* every row keeps at least one element under all modifier schedules
+  (a zero-size row would never raise the UVE end-of-dimension flag);
+* the output's innermost stride stays positive, so element addresses
+  within one store chunk are distinct (vector scatters have no
+  intra-chunk ordering);
+* indirect arrays take no modifiers and zero offsets — their region is
+  pinned in the spec so index values can be sampled in-bounds before
+  any data exists;
+* integer magnitudes are bounded (values in ±64, at most two ``mul``
+  steps) so int32 never wraps and NumPy/Python arithmetic agree;
+* the total element count is capped, so a campaign's cost is bounded.
+"""
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.fuzz.reference import expand_indices, index_vector
+from repro.fuzz.spec import (
+    ArraySpec,
+    CaseSpec,
+    COMPARE_OPS,
+    FLOAT_OPS,
+    INT_OPS,
+    IndirectSpec,
+    ModSpec,
+    OpStep,
+    REDUCE_OPS,
+    UNARY_OPS,
+)
+
+_ETYPES = ("F32", "F64", "I32", "I64")
+_VECTOR_BITS = (128, 256, 512)
+_MIX = 0x9E3779B97F4A7C15
+
+
+def _mix(seed: int, index: int, attempt: int) -> int:
+    h = (seed * _MIX + index * 0xBF58476D1CE4E5B9 + attempt * 0x94D049BB133111EB)
+    h &= (1 << 63) - 1
+    return h ^ (h >> 29)
+
+
+def generate_spec(seed: int, index: int, max_elems: int = 1024) -> CaseSpec:
+    """Case ``index`` of campaign ``seed`` — deterministic and
+    independent of sharding.  Oversized samples are redrawn; a tiny
+    always-valid case is the (never observed in practice) backstop."""
+    for attempt in range(32):
+        case_seed = _mix(seed, index, attempt)
+        spec = _sample(random.Random(case_seed), case_seed)
+        if spec is None:
+            continue
+        total = _total_elements(spec)
+        if 1 <= total <= max_elems:
+            return spec
+    case_seed = _mix(seed, index, 99)
+    return CaseSpec(
+        seed=case_seed,
+        family="elementwise",
+        etype="F32",
+        vector_bits=256,
+        sizes=(8,),
+        inputs=(ArraySpec("a", (0,), (1,)),),
+        output=ArraySpec("c", (0,), (1,)),
+        ops=(),
+    )
+
+
+def _total_elements(spec: CaseSpec) -> int:
+    idx = index_vector(spec)
+    return len(expand_indices(spec, spec.inputs[0], idx))
+
+
+def _sample(r: random.Random, case_seed: int) -> Optional[CaseSpec]:
+    family = r.choices(
+        ("elementwise", "reduction", "predicated", "scalar", "gather", "scatter"),
+        weights=(30, 20, 10, 10, 15, 15),
+    )[0]
+    etype = r.choice(_ETYPES)
+    is_float = etype in ("F32", "F64")
+    vector_bits = r.choice(_VECTOR_BITS)
+
+    indirect_name = {"gather": "a", "scatter": "c"}.get(family)
+    if indirect_name is not None:
+        ndims = 2
+    else:
+        ndims = r.choices((1, 2, 3), weights=(30, 45, 25))[0]
+    sizes = tuple(
+        [r.randint(1, 16)] + [r.randint(1, 6) for _ in range(ndims - 1)]
+    )
+
+    # Compute shape.
+    reduce_op = None
+    pred_cond = None
+    use_mac = False
+    if family == "predicated":
+        # Add is the only reduction whose identity matches the hardware's
+        # empty-predicate result (0), so predicated cases are add-reduce.
+        reduce_op = "add"
+        pred_cond = r.choice(COMPARE_OPS)
+        ops: Tuple[OpStep, ...] = ()
+    elif family == "reduction":
+        reduce_op = r.choice(REDUCE_OPS)
+        # mac is additive accumulation (acc += a*b) in every backend, so
+        # it only composes with the add reduction.
+        use_mac = is_float and reduce_op == "add" and r.random() < 0.4
+        ops = () if use_mac else _sample_ops(r, is_float, 2)
+    else:
+        ops = _sample_ops(r, is_float, 2 if family == "scalar" else 3)
+    need_b = use_mac or family == "predicated" or any(
+        s.rhs == "b" for s in ops
+    )
+
+    # Shared size modifiers (triangular-style iteration).  Excluded for
+    # indirect families: the indirect region is pinned from the
+    # *configured* inner extent, which a size modifier would outgrow.
+    size_mods: Tuple[ModSpec, ...] = ()
+    if ndims >= 2 and indirect_name is None and r.random() < 0.30:
+        count = r.randint(1, sizes[1])
+        behavior = r.choice(("add", "sub"))
+        if behavior == "sub":
+            max_disp = (sizes[0] - 1) // count
+            if max_disp < 1:
+                behavior = "add"
+        disp = (
+            r.randint(1, 3)
+            if behavior == "add"
+            else r.randint(1, min(3, max_disp))
+        )
+        size_mods = (ModSpec(1, "size", behavior, disp, count),)
+
+    def own_mods(name: str) -> Tuple[ModSpec, ...]:
+        if ndims < 2 or name == indirect_name or r.random() > 0.35:
+            return ()
+        level = r.randint(1, ndims - 1)
+        count = r.randint(1, sizes[level])
+        if name != "c" and level == 1 and r.random() < 0.25:
+            # Stride modifier on an input's innermost stride; keep the
+            # working stride non-negative (loads tolerate stride 0).
+            behavior, disp = "add", r.randint(1, 2)
+            return (ModSpec(level, "stride", behavior, disp, count),)
+        behavior = r.choice(("add", "sub"))
+        return (ModSpec(level, "offset", behavior, r.randint(1, 6), count),)
+
+    def affine(name: str) -> ArraySpec:
+        offsets = tuple(r.randint(0, 6) for _ in range(ndims))
+        strides = tuple(
+            [r.choices((1, 2, 3), weights=(70, 20, 10))[0]]
+            + [r.randint(0, 3 * sizes[0] + 4) for _ in range(ndims - 1)]
+        )
+        return ArraySpec(name, offsets, strides, own_mods(name))
+
+    def indirect_arr(name: str) -> Tuple[ArraySpec, IndirectSpec]:
+        stride0 = r.choices((1, 2), weights=(80, 20))[0]
+        extent = (sizes[0] - 1) * stride0 + 1
+        region = extent + r.randint(4, 64)
+        return (
+            ArraySpec(name, (0,) * ndims, (stride0,) + (0,) * (ndims - 1)),
+            IndirectSpec(name, region),
+        )
+
+    indirect = None
+    if family == "gather":
+        a, indirect = indirect_arr("a")
+    else:
+        a = affine("a")
+    b = affine("b") if need_b else None
+    if reduce_op is not None:
+        c = ArraySpec("c", (r.randint(0, 4),), (1,))
+    elif family == "scatter":
+        c, indirect = indirect_arr("c")
+    else:
+        c = affine("c")
+
+    inputs = (a, b) if b is not None else (a,)
+    return CaseSpec(
+        seed=case_seed,
+        family=family,
+        etype=etype,
+        vector_bits=vector_bits,
+        sizes=sizes,
+        inputs=inputs,
+        output=c,
+        ops=ops,
+        size_mods=size_mods,
+        reduce=reduce_op,
+        pred_cond=pred_cond,
+        use_mac=use_mac,
+        indirect=indirect,
+    )
+
+
+def _sample_ops(
+    r: random.Random, is_float: bool, max_len: int
+) -> Tuple[OpStep, ...]:
+    n = r.randint(0, max_len)
+    ops = []
+    muls = 0
+    for _ in range(n):
+        if is_float and r.random() < 0.15:
+            ops.append(OpStep(r.choice(UNARY_OPS)))
+            continue
+        op = r.choice(FLOAT_OPS if is_float else INT_OPS)
+        if op == "mul":
+            if muls >= 2:
+                op = "add"
+            else:
+                muls += 1
+        rhs = "b" if r.random() < 0.6 else "imm"
+        if rhs == "imm":
+            imm = round(r.uniform(-4.0, 4.0), 2) if is_float else float(
+                r.randint(-8, 8)
+            )
+            ops.append(OpStep(op, "imm", imm))
+        else:
+            ops.append(OpStep(op, "b"))
+    return tuple(ops)

@@ -1,0 +1,174 @@
+"""Representative UVE instruction pool for round-trip testing.
+
+The fuzzer exercises UVE *semantics* through generated programs; this
+module pins down the *syntax* layers — binary encoding and assembly
+text — with curated instances of every round-trippable instruction
+form:
+
+* :func:`encodable_pool` — register-form instances of every class with
+  a binary encoding (``encode(inst)`` → 32-bit word → ``decode`` →
+  equal instance).  The encoding stores element *width* only, so the
+  pool uses the width-faithful element types
+  :data:`WIDTH_FAITHFUL_ETYPES` (I8, I16, F32, F64); I32/I64 decode to
+  the float type of the same width by design.
+* :func:`asm_pool` — instances whose ``str()`` rendering re-assembles
+  (via :func:`repro.isa.assembler.assemble`) to an equal instance.
+  Branches are excluded (their text prints a ``.label`` the assembler
+  treats as an opaque name) and tested from explicit source instead.
+
+Both pools double as the seed vocabulary documented in
+``docs/FUZZING.md``: every stream-configuration and compute form the
+generator's lowerings emit appears here at least once.
+"""
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.types import ElementType
+from repro.isa import uve_ops as uve
+from repro.isa.instructions import Instruction
+from repro.isa.registers import P0, f, p, u, x
+from repro.streams.descriptor import (
+    IndirectBehavior,
+    Param,
+    StaticBehavior,
+)
+from repro.streams.pattern import Direction, MemLevel
+
+#: Element types whose width survives encode→decode unchanged (the
+#: binary word stores widths, not interpretations).
+WIDTH_FAITHFUL_ETYPES = (
+    ElementType.I8,
+    ElementType.I16,
+    ElementType.F32,
+    ElementType.F64,
+)
+
+_ALU_OPS = ("add", "sub", "mul", "div", "min", "max", "and", "or", "xor")
+_RED_OPS = ("add", "min", "max", "mul")
+
+
+def encodable_pool() -> List[Instruction]:
+    """Register-form instances of every binary-encodable UVE class."""
+    pool: List[Instruction] = []
+    # Stream configuration: every (family, mem level, direction) opcode
+    # class, plus each width code once.
+    for cls in (uve.SsConfig1D, uve.SsSta):
+        for level in (MemLevel.L1, MemLevel.L2, MemLevel.MEM):
+            for direction in (Direction.LOAD, Direction.STORE):
+                pool.append(
+                    cls(
+                        u(3),
+                        direction,
+                        x(5),
+                        x(6),
+                        x(7),
+                        etype=ElementType.F32,
+                        mem_level=level,
+                    )
+                )
+        for etype in WIDTH_FAITHFUL_ETYPES:
+            pool.append(
+                cls(
+                    u(31),
+                    Direction.LOAD,
+                    x(1),
+                    x(2),
+                    x(3),
+                    etype=etype,
+                    mem_level=MemLevel.L2,
+                )
+            )
+    for last in (False, True):
+        pool.append(uve.SsApp(u(4), x(8), x(9), x(10), last=last))
+    for target in (Param.OFFSET, Param.SIZE, Param.STRIDE):
+        for behavior in (StaticBehavior.ADD, StaticBehavior.SUB):
+            for last in (False, True):
+                pool.append(
+                    uve.SsAppMod(u(2), target, behavior, x(11), x(12), last=last)
+                )
+    for target in (Param.OFFSET, Param.SIZE, Param.STRIDE):
+        for behavior in (
+            IndirectBehavior.SET_ADD,
+            IndirectBehavior.SET_SUB,
+            IndirectBehavior.SET_VALUE,
+        ):
+            pool.append(uve.SsAppInd(u(1), target, behavior, u(30), last=True))
+    pool.append(uve.SsAppInd(u(1), Param.OFFSET, IndirectBehavior.SET_ADD, u(3)))
+    for kind in ("suspend", "resume", "stop"):
+        pool.append(uve.SsCtl(kind, u(17)))
+    # Streaming compute.
+    for op in _ALU_OPS:
+        pool.append(uve.SoOp(op, u(2), u(0), u(1)))
+    for etype in WIDTH_FAITHFUL_ETYPES:
+        pool.append(uve.SoOp("add", u(4), u(5), u(6), etype=etype))
+    for pred in (p(1), p(2), p(3)):
+        pool.append(uve.SoOp("mul", u(7), u(8), u(9), pred=pred))
+    for etype in WIDTH_FAITHFUL_ETYPES:
+        pool.append(uve.SoMac(u(8), u(0), u(1), etype=etype))
+        pool.append(uve.SoMove(u(10), u(1), etype=etype))
+    pool.append(uve.SoDup(u(4), x(0), etype=ElementType.I16))
+    pool.append(uve.SoDup(u(4), f(9), etype=ElementType.F64))
+    for op in _RED_OPS:
+        pool.append(uve.SoRed(op, u(6), u(2)))
+    # Branches: the word encodes everything but the displacement, which
+    # decode() re-synthesises from its ``label`` argument.
+    for negate in (False, True):
+        pool.append(uve.SoBranchEnd(u(0), "target", negate=negate))
+    for dim in (0, 1, 3, 7):
+        for complete in (False, True):
+            pool.append(uve.SoBranchDim(u(0), dim, "target", complete=complete))
+    return pool
+
+
+def asm_pool() -> List[Instruction]:
+    """Instances whose ``str()`` re-assembles to an equal instance."""
+    pool: List[Instruction] = []
+    # Stream configuration text omits the memory level (default L2) and
+    # prints I32/I64 with the width suffixes the assembler reads back as
+    # floats, so the text-faithful subset mirrors the encodable one.
+    for cls in (uve.SsConfig1D, uve.SsSta):
+        for etype in WIDTH_FAITHFUL_ETYPES:
+            pool.append(cls(u(0), Direction.LOAD, 1024, 64, 1, etype=etype))
+        pool.append(cls(u(2), Direction.STORE, x(5), x(6), x(7)))
+    for last in (False, True):
+        pool.append(uve.SsApp(u(1), 0, 8, x(3), last=last))
+    for target in (Param.OFFSET, Param.SIZE, Param.STRIDE):
+        for behavior in (StaticBehavior.ADD, StaticBehavior.SUB):
+            pool.append(uve.SsAppMod(u(1), target, behavior, 2, 3))
+    pool.append(
+        uve.SsAppMod(u(1), Param.SIZE, StaticBehavior.SUB, x(4), x(5), last=True)
+    )
+    for behavior in (
+        IndirectBehavior.SET_ADD,
+        IndirectBehavior.SET_SUB,
+        IndirectBehavior.SET_VALUE,
+    ):
+        pool.append(
+            uve.SsAppInd(u(2), Param.OFFSET, behavior, u(3), last=True)
+        )
+    for kind in ("suspend", "resume", "stop"):
+        pool.append(uve.SsCtl(kind, u(9)))
+    # Compute: the ``.fp``/``.sc`` mnemonics carry no width or predicate
+    # field, so only the defaults (F32, P0) are text-faithful.
+    for op in _ALU_OPS:
+        pool.append(uve.SoOp(op, u(2), u(0), u(1)))
+        pool.append(uve.SoOpScalar(op, u(2), u(0), x(3)))
+    pool.append(uve.SoOpScalar("mul", u(2), u(0), 7))
+    pool.append(uve.SoMac(u(8), u(0), u(1)))
+    pool.append(uve.SoMacScalar(u(8), u(0), f(2)))
+    pool.append(uve.SoMove(u(10), u(1)))
+    for etype in WIDTH_FAITHFUL_ETYPES:
+        pool.append(uve.SoDup(u(3), x(0), etype=etype))
+    pool.append(uve.SoDup(u(3), f(1)))
+    for op in _RED_OPS:
+        pool.append(uve.SoRed(op, u(6), u(2)))
+        pool.append(uve.SoRedScalar(op, f(1), u(2)))
+    pool.append(uve.SoScalarRead(x(5), u(2)))
+    pool.append(uve.SoScalarWrite(u(2), x(5)))
+    for cond in ("eq", "ne", "lt", "le", "gt", "ge"):
+        pool.append(uve.SoPredComp(cond, p(1), u(0), u(1)))
+    pool.append(uve.SoPredNot(p(2), p(1)))
+    pool.append(uve.SoGetVl(x(6)))
+    pool.append(uve.SoSetVl(x(6), 16))
+    return pool

@@ -1,0 +1,195 @@
+"""Delta-debugging shrinker for failing fuzz cases.
+
+Given a failing spec and a ``failing(spec) -> bool`` predicate (usually
+"run the oracle with the same injection and see if it still fails"),
+``shrink`` greedily applies simplification candidates — drop the outer
+loop level, shrink sizes, strip modifiers and chain ops, zero offsets,
+normalise strides, narrow the element type — restarting from the most
+aggressive candidates after every accepted step, until a fixpoint or
+the evaluation budget is reached.
+
+Candidates that would make the case ill-defined (a row shrinking to
+zero elements, an indirect region smaller than its inner extent, a
+non-positive output stride) are filtered by :func:`valid` *before*
+running, so the shrinker cannot wander from the original bug to a
+degenerate always-failing spec.
+"""
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.fuzz.spec import ArraySpec, CaseSpec
+
+
+def valid(spec: CaseSpec) -> bool:
+    """Is ``spec`` well-defined for every backend?"""
+    if spec.ndims < 1 or any(s < 1 for s in spec.sizes):
+        return False
+    if spec.indirect is not None:
+        if spec.ndims != 2:
+            return False
+        arr = spec.array(spec.indirect.array)
+        extent = (spec.sizes[0] - 1) * arr.strides[0] + 1
+        if arr.strides[0] < 1 or spec.indirect.region < extent:
+            return False
+        if arr.mods or any(o != 0 for o in arr.offsets):
+            return False
+    for mod in spec.size_mods:
+        if not 1 <= mod.level < spec.ndims:
+            return False
+        if mod.behavior == "sub":
+            if spec.sizes[mod.level - 1] - mod.displacement * mod.count < 1:
+                return False
+    for arr in spec.arrays:
+        for mod in arr.mods:
+            if not 1 <= mod.level < spec.ndims:
+                return False
+            if mod.target == "stride" and mod.behavior == "sub":
+                floor = 1 if arr.name == "c" and mod.level == 1 else 0
+                left = arr.strides[mod.level - 1] - mod.displacement * mod.count
+                if left < floor:
+                    return False
+    if spec.reduce is None and spec.output.strides[0] < 1:
+        return False
+    return True
+
+
+def _drop_outer_dim(spec: CaseSpec) -> Optional[CaseSpec]:
+    if spec.ndims < 2 or spec.indirect is not None:
+        return None
+    cut = spec.ndims - 1
+
+    def trim(arr: ArraySpec) -> ArraySpec:
+        return ArraySpec(
+            arr.name,
+            arr.offsets[:cut],
+            arr.strides[:cut],
+            tuple(m for m in arr.mods if m.level < cut),
+        )
+
+    return spec.with_(
+        sizes=spec.sizes[:cut],
+        inputs=tuple(trim(a) for a in spec.inputs),
+        output=spec.output if spec.reduce is not None else trim(spec.output),
+        size_mods=tuple(m for m in spec.size_mods if m.level < cut),
+    )
+
+
+def _candidates(spec: CaseSpec) -> Iterator[CaseSpec]:
+    """Simplifications of ``spec``, most aggressive first."""
+    dropped = _drop_outer_dim(spec)
+    if dropped is not None:
+        yield dropped
+    for k, size in enumerate(spec.sizes):
+        if size > 1:
+            yield spec.with_(
+                sizes=tuple(1 if i == k else s for i, s in enumerate(spec.sizes))
+            )
+    for k, size in enumerate(spec.sizes):
+        if size > 2:
+            yield spec.with_(
+                sizes=tuple(
+                    size // 2 if i == k else s for i, s in enumerate(spec.sizes)
+                )
+            )
+    if spec.ops:
+        yield spec.with_(ops=())
+        yield spec.with_(ops=spec.ops[:-1])
+    if spec.size_mods:
+        yield spec.with_(size_mods=())
+    for which, arr in enumerate(spec.arrays):
+        if arr.mods:
+            stripped = ArraySpec(arr.name, arr.offsets, arr.strides, ())
+            yield _replace_array(spec, which, stripped)
+    for which, arr in enumerate(spec.arrays):
+        if spec.indirect is not None and spec.indirect.array == arr.name:
+            continue
+        if any(o != 0 for o in arr.offsets):
+            zeroed = ArraySpec(
+                arr.name, (0,) * len(arr.offsets), arr.strides, arr.mods
+            )
+            yield _replace_array(spec, which, zeroed)
+        if any(s != 1 for s in arr.strides):
+            unit = ArraySpec(
+                arr.name, arr.offsets, (1,) * len(arr.strides), arr.mods
+            )
+            yield _replace_array(spec, which, unit)
+    for which, arr in enumerate(spec.arrays):
+        for m_i, mod in enumerate(arr.mods):
+            if mod.displacement > 1:
+                weakened = mod.__class__(
+                    mod.level, mod.target, mod.behavior, 1, mod.count
+                )
+                mods = tuple(
+                    weakened if j == m_i else m for j, m in enumerate(arr.mods)
+                )
+                yield _replace_array(
+                    spec, which, ArraySpec(arr.name, arr.offsets, arr.strides, mods)
+                )
+            if mod.count > 1:
+                weakened = mod.__class__(
+                    mod.level, mod.target, mod.behavior, mod.displacement, 1
+                )
+                mods = tuple(
+                    weakened if j == m_i else m for j, m in enumerate(arr.mods)
+                )
+                yield _replace_array(
+                    spec, which, ArraySpec(arr.name, arr.offsets, arr.strides, mods)
+                )
+    for m_i, mod in enumerate(spec.size_mods):
+        if mod.count > 1:
+            weakened = mod.__class__(
+                mod.level, mod.target, mod.behavior, mod.displacement, 1
+            )
+            yield spec.with_(
+                size_mods=tuple(
+                    weakened if j == m_i else m
+                    for j, m in enumerate(spec.size_mods)
+                )
+            )
+    if spec.indirect is not None:
+        arr = spec.array(spec.indirect.array)
+        extent = (spec.sizes[0] - 1) * arr.strides[0] + 1
+        if spec.indirect.region > extent + 4:
+            yield spec.with_(
+                indirect=spec.indirect.__class__(spec.indirect.array, extent + 4)
+            )
+    if spec.etype != "F32":
+        yield spec.with_(etype="F32")
+    if spec.vector_bits > 128:
+        yield spec.with_(vector_bits=128)
+
+
+def _replace_array(spec: CaseSpec, which: int, new: ArraySpec) -> CaseSpec:
+    arrays = list(spec.arrays)
+    arrays[which] = new
+    inputs = tuple(arrays[: len(spec.inputs)])
+    return spec.with_(inputs=inputs, output=arrays[-1])
+
+
+def shrink(
+    spec: CaseSpec,
+    failing: Callable[[CaseSpec], bool],
+    max_evals: int = 300,
+) -> CaseSpec:
+    """Smallest spec (under the candidate moves) that still fails."""
+    current = spec
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for candidate in _candidates(current):
+            if evals >= max_evals:
+                break
+            if candidate == current or not valid(candidate):
+                continue
+            evals += 1
+            try:
+                still_failing = failing(candidate)
+            except Exception:  # noqa: BLE001 — invalid candidate, skip
+                continue
+            if still_failing:
+                current = candidate
+                progress = True
+                break
+    return current

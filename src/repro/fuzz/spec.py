@@ -1,0 +1,261 @@
+"""Loop-nest case specifications for the differential fuzzer.
+
+A :class:`CaseSpec` is a small, JSON-serialisable description of one
+fuzz case: a shared loop-nest geometry (sizes, innermost first), one or
+two input arrays plus one output array with per-array strides/offsets
+and static modifiers, an element-wise op chain, and optionally a
+reduction, a predicate, or an indirect (gather/scatter) level.  All
+bulk data — array contents and index vectors — is derived
+deterministically from ``seed``, so a spec stays a few hundred bytes
+even for thousand-element cases and can be replayed bit-identically
+from the corpus.
+
+The spec layer is deliberately independent of the ``streams``
+descriptor classes: lowerings (:mod:`repro.fuzz.lowering`) and the
+reference expander (:mod:`repro.fuzz.reference`) each interpret it with
+separately-written code, which is what gives the differential oracle
+its teeth.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.common.types import ElementType
+
+#: case families the generator can sample.
+FAMILIES = (
+    "elementwise",  # c[i] = chain(a[i], b[i]) stored per element
+    "reduction",    # scalar = reduce(chain(a[i], b[i]))
+    "predicated",   # scalar = reduce(a[i] where cmp(a[i], b[i]))
+    "scalar",       # element-granular stream consumption (UVE so.sc.*)
+    "gather",       # a indexed through an int32 index vector (load side)
+    "scatter",      # c indexed through an int32 index vector (store side)
+)
+
+#: ops legal in element-wise chains, per type class.
+FLOAT_OPS = ("add", "sub", "mul", "min", "max")
+INT_OPS = ("add", "sub", "mul", "min", "max", "and", "or", "xor")
+UNARY_OPS = ("neg", "abs")
+REDUCE_OPS = ("add", "min", "max")
+COMPARE_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: modifier parameter / behaviour vocabulary (mirrors streams.descriptor).
+MOD_TARGETS = ("offset", "size", "stride")
+MOD_BEHAVIORS = ("add", "sub")
+
+
+@dataclass(frozen=True)
+class ModSpec:
+    """A static descriptor modifier: bound at loop ``level`` (>= 1), it
+    mutates ``target`` of the level below by ``displacement`` on each of
+    the first ``count`` iterations of the bound level, and resets when
+    the bound level restarts — the `{T,B,D,E}` semantics of paper §II-B."""
+
+    level: int
+    target: str  # offset | size | stride
+    behavior: str  # add | sub
+    displacement: int
+    count: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "level": self.level,
+            "target": self.target,
+            "behavior": self.behavior,
+            "displacement": self.displacement,
+            "count": self.count,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "ModSpec":
+        return ModSpec(
+            level=int(data["level"]),
+            target=str(data["target"]),
+            behavior=str(data["behavior"]),
+            displacement=int(data["displacement"]),
+            count=int(data["count"]),
+        )
+
+    @property
+    def signed_displacement(self) -> int:
+        return -self.displacement if self.behavior == "sub" else self.displacement
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """One array's view of the shared nest: per-level offsets and
+    strides (element units, innermost first) plus its own offset/stride
+    modifiers.  Sizes live on the CaseSpec — shared geometry keeps
+    stream chunk boundaries aligned across all streams of a case."""
+
+    name: str  # "a" | "b" | "c"
+    offsets: Tuple[int, ...]
+    strides: Tuple[int, ...]
+    mods: Tuple[ModSpec, ...] = ()
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "offsets": list(self.offsets),
+            "strides": list(self.strides),
+            "mods": [m.to_dict() for m in self.mods],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "ArraySpec":
+        return ArraySpec(
+            name=str(data["name"]),
+            offsets=tuple(int(v) for v in data["offsets"]),
+            strides=tuple(int(v) for v in data["strides"]),
+            mods=tuple(ModSpec.from_dict(m) for m in data.get("mods", ())),
+        )
+
+
+@dataclass(frozen=True)
+class IndirectSpec:
+    """Gather/scatter configuration: the indirect array's rows are
+    addressed through an int32 index vector (one index per iteration of
+    level 1), regenerated from the case seed.  ``region`` fixes the
+    indirect array's allocation span so index values can be sampled
+    in-bounds without knowing the data first."""
+
+    array: str  # which array is indirect: "a" (gather) | "c" (scatter)
+    region: int  # allocation span of the indirect array, elements
+
+    def to_dict(self) -> Dict:
+        return {"array": self.array, "region": self.region}
+
+    @staticmethod
+    def from_dict(data: Dict) -> "IndirectSpec":
+        return IndirectSpec(array=str(data["array"]), region=int(data["region"]))
+
+
+@dataclass(frozen=True)
+class OpStep:
+    """One step of the element-wise chain.  The running value starts as
+    ``a[i]``; each step combines it with ``rhs`` ("b", "imm", or None
+    for unary ops) under ``op``."""
+
+    op: str
+    rhs: Optional[str] = None  # "b" | "imm" | None (unary)
+    imm: float = 0.0
+
+    def to_dict(self) -> Dict:
+        data: Dict = {"op": self.op}
+        if self.rhs is not None:
+            data["rhs"] = self.rhs
+        if self.rhs == "imm":
+            data["imm"] = self.imm
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict) -> "OpStep":
+        return OpStep(
+            op=str(data["op"]),
+            rhs=data.get("rhs"),
+            imm=float(data.get("imm", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """A complete fuzz case.  ``sizes`` is innermost-first and shared by
+    every array; the element type is stored by :class:`ElementType`
+    name.  ``size_mods`` mutate the shared sizes (e.g. triangular
+    iteration); per-array offset/stride modifiers live on the arrays."""
+
+    seed: int
+    family: str
+    etype: str  # ElementType name: "F32", "I32", ...
+    vector_bits: int
+    sizes: Tuple[int, ...]
+    inputs: Tuple[ArraySpec, ...]
+    output: ArraySpec
+    ops: Tuple[OpStep, ...]
+    size_mods: Tuple[ModSpec, ...] = ()
+    reduce: Optional[str] = None
+    pred_cond: Optional[str] = None
+    use_mac: bool = False
+    indirect: Optional[IndirectSpec] = None
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def element_type(self) -> ElementType:
+        return ElementType[self.etype]
+
+    @property
+    def ndims(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def is_float(self) -> bool:
+        return self.element_type in (ElementType.F32, ElementType.F64)
+
+    @property
+    def arrays(self) -> Tuple[ArraySpec, ...]:
+        return self.inputs + (self.output,)
+
+    def array(self, name: str) -> ArraySpec:
+        for arr in self.arrays:
+            if arr.name == name:
+                return arr
+        raise KeyError(name)
+
+    def mods_for(self, arr: ArraySpec, level: int) -> Tuple[ModSpec, ...]:
+        """Modifiers affecting ``arr`` bound at ``level``: the shared
+        size modifiers plus the array's own offset/stride modifiers."""
+        shared = tuple(m for m in self.size_mods if m.level == level)
+        own = tuple(m for m in arr.mods if m.level == level)
+        return shared + own
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "seed": self.seed,
+            "family": self.family,
+            "etype": self.etype,
+            "vector_bits": self.vector_bits,
+            "sizes": list(self.sizes),
+            "inputs": [a.to_dict() for a in self.inputs],
+            "output": self.output.to_dict(),
+            "ops": [o.to_dict() for o in self.ops],
+        }
+        if self.size_mods:
+            data["size_mods"] = [m.to_dict() for m in self.size_mods]
+        if self.reduce is not None:
+            data["reduce"] = self.reduce
+        if self.pred_cond is not None:
+            data["pred_cond"] = self.pred_cond
+        if self.use_mac:
+            data["use_mac"] = True
+        if self.indirect is not None:
+            data["indirect"] = self.indirect.to_dict()
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict) -> "CaseSpec":
+        indirect = data.get("indirect")
+        return CaseSpec(
+            seed=int(data["seed"]),
+            family=str(data["family"]),
+            etype=str(data["etype"]),
+            vector_bits=int(data["vector_bits"]),
+            sizes=tuple(int(v) for v in data["sizes"]),
+            inputs=tuple(ArraySpec.from_dict(a) for a in data["inputs"]),
+            output=ArraySpec.from_dict(data["output"]),
+            ops=tuple(OpStep.from_dict(o) for o in data["ops"]),
+            size_mods=tuple(
+                ModSpec.from_dict(m) for m in data.get("size_mods", ())
+            ),
+            reduce=data.get("reduce"),
+            pred_cond=data.get("pred_cond"),
+            use_mac=bool(data.get("use_mac", False)),
+            indirect=IndirectSpec.from_dict(indirect) if indirect else None,
+        )
+
+    def with_(self, **kwargs) -> "CaseSpec":
+        """A copy with fields replaced — the shrinker's workhorse."""
+        return replace(self, **kwargs)

@@ -56,13 +56,21 @@ def code_version_salt() -> str:
 
 
 class ResultCache:
-    """On-disk cache of :class:`RunRecord` results, keyed by fingerprint."""
+    """On-disk cache of run results, keyed by fingerprint.
+
+    ``record_cls`` is the payload constructor: the campaign harness uses
+    the default :class:`RunRecord`; other subsystems (e.g. the fuzzer)
+    pass their own dataclass — or ``dict`` for schemaless payloads."""
 
     def __init__(
-        self, root: Optional[Path] = None, salt: Optional[str] = None
+        self,
+        root: Optional[Path] = None,
+        salt: Optional[str] = None,
+        record_cls=RunRecord,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.salt = salt if salt is not None else code_version_salt()
+        self.record_cls = record_cls
         self.hits = 0
         self.misses = 0
 
@@ -78,7 +86,7 @@ class ResultCache:
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
-            record = RunRecord(**payload["record"])
+            record = self.record_cls(**payload["record"])
         except (OSError, ValueError, TypeError, KeyError):
             self.misses += 1
             return None
@@ -90,10 +98,15 @@ class ResultCache:
         never observe a half-written entry.  Best-effort: an unwritable
         cache degrades to a slower campaign, never a failed one."""
         path = self._path(key)
+        body = (
+            dataclasses.asdict(record)
+            if dataclasses.is_dataclass(record)
+            else dict(record)
+        )
         payload = {
             "format": CACHE_FORMAT,
             "key": key,
-            "record": dataclasses.asdict(record),
+            "record": body,
         }
         tmp = ""
         try:

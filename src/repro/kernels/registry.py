@@ -8,6 +8,9 @@ from repro.kernels.base import Kernel
 
 _REGISTRY: Dict[str, Kernel] = {}
 
+#: optional kernel modules that failed to import: module name -> error text.
+_IMPORT_ERRORS: Dict[str, str] = {}
+
 
 def register(kernel_cls) -> None:
     kernel = kernel_cls()
@@ -16,13 +19,23 @@ def register(kernel_cls) -> None:
     _REGISTRY[kernel.name] = kernel
 
 
+def import_failures() -> Dict[str, str]:
+    """Optional kernel modules that failed to import, with the error."""
+    return dict(_IMPORT_ERRORS)
+
+
 def get_kernel(name: str) -> Kernel:
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise ConfigError(
-            f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
-        ) from None
+        message = f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
+        if _IMPORT_ERRORS:
+            failed = "; ".join(
+                f"{module}: {error}"
+                for module, error in sorted(_IMPORT_ERRORS.items())
+            )
+            message += f" (modules that failed to import: {failed})"
+        raise ConfigError(message) from None
 
 
 def all_kernels() -> List[Kernel]:
@@ -32,6 +45,20 @@ def all_kernels() -> List[Kernel]:
 
 def kernel_names() -> List[str]:
     return [k.name for k in all_kernels()]
+
+
+def _register_optional(optional) -> None:
+    """Import-and-register helper; failures are recorded, not swallowed
+    silently, so `get_kernel` can explain why a kernel is missing."""
+    import importlib
+
+    for module_name, cls_name in optional:
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            _IMPORT_ERRORS[module_name] = str(exc)
+            continue
+        register(getattr(module, cls_name))
 
 
 def _populate() -> None:
@@ -44,32 +71,26 @@ def _populate() -> None:
 
     # Later benchmark modules register lazily to keep import costs low and
     # to allow partial builds during development.
-    optional = [
-        ("repro.kernels.gemm", "GemmKernel"),
-        ("repro.kernels.threemm", "ThreeMmKernel"),
-        ("repro.kernels.mvt", "MvtKernel"),
-        ("repro.kernels.gemver", "GemverKernel"),
-        ("repro.kernels.trisolv", "TrisolvKernel"),
-        ("repro.kernels.jacobi1d", "Jacobi1dKernel"),
-        ("repro.kernels.jacobi2d", "Jacobi2dKernel"),
-        ("repro.kernels.irsmk", "IrsmkKernel"),
-        ("repro.kernels.haccmk", "HaccmkKernel"),
-        ("repro.kernels.knn", "KnnKernel"),
-        ("repro.kernels.covariance", "CovarianceKernel"),
-        ("repro.kernels.mamr", "MamrKernel"),
-        ("repro.kernels.mamr", "MamrDiagKernel"),
-        ("repro.kernels.mamr", "MamrIndKernel"),
-        ("repro.kernels.seidel2d", "Seidel2dKernel"),
-        ("repro.kernels.floyd_warshall", "FloydWarshallKernel"),
-    ]
-    import importlib
-
-    for module_name, cls_name in optional:
-        try:
-            module = importlib.import_module(module_name)
-        except ImportError:
-            continue
-        register(getattr(module, cls_name))
+    _register_optional(
+        [
+            ("repro.kernels.gemm", "GemmKernel"),
+            ("repro.kernels.threemm", "ThreeMmKernel"),
+            ("repro.kernels.mvt", "MvtKernel"),
+            ("repro.kernels.gemver", "GemverKernel"),
+            ("repro.kernels.trisolv", "TrisolvKernel"),
+            ("repro.kernels.jacobi1d", "Jacobi1dKernel"),
+            ("repro.kernels.jacobi2d", "Jacobi2dKernel"),
+            ("repro.kernels.irsmk", "IrsmkKernel"),
+            ("repro.kernels.haccmk", "HaccmkKernel"),
+            ("repro.kernels.knn", "KnnKernel"),
+            ("repro.kernels.covariance", "CovarianceKernel"),
+            ("repro.kernels.mamr", "MamrKernel"),
+            ("repro.kernels.mamr", "MamrDiagKernel"),
+            ("repro.kernels.mamr", "MamrIndKernel"),
+            ("repro.kernels.seidel2d", "Seidel2dKernel"),
+            ("repro.kernels.floyd_warshall", "FloydWarshallKernel"),
+        ]
+    )
 
 
 _populate()

@@ -34,6 +34,7 @@ from repro.streams.descriptor import (
     StaticModifier,
 )
 from repro.streams.iterator import StreamIterator
+from repro.streams.limits import MAX_DIMENSIONS, MAX_MODIFIERS, MAX_STREAMS
 from repro.streams.pattern import Direction, Level, MemLevel, StreamPattern
 
 #: Lanes of the widest predicate granularity (one bit per byte of vector).
@@ -53,6 +54,16 @@ class _PendingConfig:
         self.mods: Dict[int, List] = {}
         self.lone_indirect: Dict[int, List] = {}
 
+    @property
+    def nlevels(self) -> int:
+        return len(self.dims) + len(self.lone_indirect)
+
+    @property
+    def nmodifiers(self) -> int:
+        return sum(len(mods) for mods in self.mods.values()) + sum(
+            len(mods) for mods in self.lone_indirect.values()
+        )
+
     def build(self) -> StreamPattern:
         levels: List[Level] = []
         for k, dim in enumerate(self.dims):
@@ -65,6 +76,19 @@ class _PendingConfig:
             direction=self.direction,
             mem_level=self.mem_level,
         )
+
+
+def hardware_stream_count(pattern: StreamPattern) -> int:
+    """Streaming Engine slots the pattern occupies: itself plus every
+    (transitively) attached indirect-origin stream, which stays resident
+    in the engine even after its register is unbound."""
+    count = 1
+    for level in pattern.levels:
+        for mod in level.modifiers:
+            origin = getattr(mod, "origin", None)
+            if origin is not None:
+                count += hardware_stream_count(origin)
+    return count
 
 
 class _RuntimeStream:
@@ -406,6 +430,12 @@ class MachineState:
 
     def stream_dim(self, index: int, offset: int, size: int, stride: int) -> None:
         pending = self._require_pending(index)
+        if pending.nlevels + 1 > MAX_DIMENSIONS:
+            raise StreamError(
+                f"u{index}: appending a dimension would give "
+                f"{pending.nlevels + 1} dimensions; the Streaming Engine "
+                f"supports at most {MAX_DIMENSIONS} per stream"
+            )
         pending.dims.append(Descriptor(offset, size, stride))
 
     def stream_static_mod(
@@ -421,6 +451,12 @@ class MachineState:
             raise StreamError(
                 "a static modifier needs an appended dimension above "
                 "dimension 0 to bind to"
+            )
+        if pending.nmodifiers + 1 > MAX_MODIFIERS:
+            raise StreamError(
+                f"u{index}: appending a modifier would give "
+                f"{pending.nmodifiers + 1} modifiers; the Streaming Engine "
+                f"supports at most {MAX_MODIFIERS} per stream"
             )
         k = len(pending.dims) - 1
         pending.mods.setdefault(k, []).append(
@@ -440,6 +476,18 @@ class MachineState:
             raise StreamError(
                 f"indirect origin u{origin_index} has no configured stream"
             )
+        if pending.nmodifiers + 1 > MAX_MODIFIERS:
+            raise StreamError(
+                f"u{index}: appending an indirect modifier would give "
+                f"{pending.nmodifiers + 1} modifiers; the Streaming Engine "
+                f"supports at most {MAX_MODIFIERS} per stream"
+            )
+        if len(pending.dims) < 2 and pending.nlevels + 1 > MAX_DIMENSIONS:
+            raise StreamError(
+                f"u{index}: the lone indirect level would give "
+                f"{pending.nlevels + 1} dimensions; the Streaming Engine "
+                f"supports at most {MAX_DIMENSIONS} per stream"
+            )
         # The origin becomes engine-internal: unbind it from the register.
         del self._streams[origin_index]
         modifier = IndirectModifier(target, behavior, origin.pattern)
@@ -457,6 +505,18 @@ class MachineState:
         if pending is None:
             raise StreamError(f"no pending configuration for u{index}")
         pattern = pending.build()
+        in_use = sum(
+            hardware_stream_count(s.pattern)
+            for reg, s in self._streams.items()
+            if reg != index  # reconfiguring a register frees its stream
+        )
+        wanted = hardware_stream_count(pattern)
+        if in_use + wanted > MAX_STREAMS:
+            raise StreamError(
+                f"u{index}: configuring this stream needs {wanted} "
+                f"hardware stream(s) on top of {in_use} in use; the "
+                f"Streaming Engine has {MAX_STREAMS}"
+            )
         uid = self._next_uid
         self._next_uid += 1
         info = StreamTraceInfo(

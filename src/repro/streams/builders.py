@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.types import ElementType
+from repro.errors import StreamError
 from repro.streams.descriptor import (
     Descriptor,
     IndirectBehavior,
@@ -19,7 +20,24 @@ from repro.streams.descriptor import (
     StaticBehavior,
     StaticModifier,
 )
+from repro.streams.limits import MAX_DIMENSIONS, MAX_MODIFIERS
 from repro.streams.pattern import Direction, Level, MemLevel, StreamPattern
+
+
+def _check_limits(levels, what: str) -> None:
+    """Reject over-limit configurations with a StreamError naming the
+    offending builder, before StreamPattern construction."""
+    if len(levels) > MAX_DIMENSIONS:
+        raise StreamError(
+            f"{what}: {len(levels)} dimensions exceed the Streaming "
+            f"Engine limit of {MAX_DIMENSIONS} per stream"
+        )
+    nmods = sum(len(level.modifiers) for level in levels)
+    if nmods > MAX_MODIFIERS:
+        raise StreamError(
+            f"{what}: {nmods} modifiers exceed the Streaming Engine "
+            f"limit of {MAX_MODIFIERS} per stream"
+        )
 
 
 def linear(
@@ -75,6 +93,7 @@ def repeated(
 ) -> StreamPattern:
     """Wrap ``pattern`` in an outer zero-stride dimension repeating it."""
     levels = list(pattern.levels) + [Level(Descriptor(0, times, 0))]
+    _check_limits(levels, "repeated()")
     return StreamPattern(
         levels=levels,
         etype=pattern.etype,
@@ -132,14 +151,16 @@ def indirect(
     ``base + idx`` with ``inner_stride`` spacing (``inner_size=1`` gives
     plain gather/scatter).
     """
+    levels = [
+        Level(Descriptor(base, inner_size, inner_stride)),
+        Level(
+            None,
+            [IndirectModifier(Param.OFFSET, IndirectBehavior.SET_ADD, index_pattern)],
+        ),
+    ]
+    _check_limits(levels, "indirect()")
     return StreamPattern(
-        levels=[
-            Level(Descriptor(base, inner_size, inner_stride)),
-            Level(
-                None,
-                [IndirectModifier(Param.OFFSET, IndirectBehavior.SET_ADD, index_pattern)],
-            ),
-        ],
+        levels=levels,
         etype=etype,
         direction=direction,
         mem_level=mem_level,

@@ -1,0 +1,86 @@
+"""Campaign orchestration: caching, sharding, corpus writing, CLI."""
+from repro.fuzz.__main__ import main
+from repro.fuzz.campaign import fuzz_cache, run_campaign
+
+
+def test_clean_campaign_is_ok_and_counts_timing(tmp_path):
+    summary = run_campaign(seed=21, cases=12, timing_every=4, cache=None)
+    assert summary.ok
+    assert summary.cases == 12
+    assert summary.timing_checked == 3  # indices 0, 4, 8
+    assert summary.cache_hits == 0
+
+
+def test_cache_hits_on_rerun(tmp_path):
+    cache = fuzz_cache(tmp_path / "cache")
+    first = run_campaign(seed=22, cases=10, cache=cache)
+    again = run_campaign(seed=22, cases=10, cache=cache)
+    assert first.cache_hits == 0
+    assert again.cache_hits == 10
+    assert again.ok == first.ok
+
+
+def test_injected_campaign_writes_shrunk_corpus(tmp_path):
+    corpus = tmp_path / "corpus"
+    summary = run_campaign(
+        seed=0,
+        cases=40,
+        inject="uve-dim0-size-off-by-one",
+        timing_every=0,
+        corpus_dir=corpus,
+        cache=None,
+    )
+    assert summary.failures, "injection not caught in 40 cases"
+    assert summary.shrunk
+    written = sorted(corpus.glob("*.json"))
+    assert written
+    assert summary.corpus_files
+    # Shrunk reproducers meet the acceptance bar: <= 3 dimensions.
+    assert all(len(s["sizes"]) <= 3 for s in summary.shrunk)
+
+
+def test_parallel_equals_serial():
+    serial = run_campaign(seed=23, cases=8, jobs=1, cache=None)
+    parallel = run_campaign(seed=23, cases=8, jobs=2, cache=None)
+    assert serial.to_dict() == parallel.to_dict()
+
+
+def test_cli_clean_run(tmp_path, capsys):
+    code = main(
+        ["--seed", "24", "--cases", "6", "--no-cache", "--timing-every", "0"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 failing case(s)" in out
+
+
+def test_cli_json_output(tmp_path, capsys):
+    import json
+
+    code = main(
+        [
+            "--seed", "24", "--cases", "4", "--json",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] is True
+    assert payload["cases"] == 4
+
+
+def test_cli_replay_roundtrip(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    main(
+        [
+            "--seed", "0", "--cases", "40", "--no-cache", "--timing-every",
+            "0", "--inject", "uve-dim0-size-off-by-one", "--corpus",
+            str(corpus),
+        ]
+    )
+    capsys.readouterr()
+    assert sorted(corpus.glob("*.json"))
+    code = main(["--replay", str(corpus)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 unexpected" in out

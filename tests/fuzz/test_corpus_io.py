@@ -1,0 +1,49 @@
+"""Corpus file format: save/load round trip and versioning."""
+import json
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CORPUS_FORMAT,
+    case_filename,
+    load_case,
+    save_case,
+)
+from repro.fuzz.generator import generate_spec
+
+
+def test_save_load_round_trip(tmp_path):
+    spec = generate_spec(13, 5)
+    meta = {"campaign_seed": 13, "case_index": 5, "inject": None}
+    path = tmp_path / case_filename(spec)
+    save_case(path, spec, meta)
+    loaded, loaded_meta = load_case(path)
+    assert loaded == spec
+    assert loaded_meta == meta
+
+
+def test_filename_is_deterministic_and_inject_sensitive():
+    spec = generate_spec(13, 6)
+    assert case_filename(spec) == case_filename(spec)
+    assert case_filename(spec) != case_filename(spec, "uve-mod-extra-count")
+    assert case_filename(spec).startswith(spec.family)
+    assert case_filename(spec).endswith(".json")
+
+
+def test_format_mismatch_rejected(tmp_path):
+    spec = generate_spec(13, 7)
+    path = save_case(tmp_path / "case.json", spec)
+    data = json.loads(path.read_text())
+    data["format"] = CORPUS_FORMAT + 1
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="corpus format"):
+        load_case(path)
+
+
+def test_files_are_stable_text(tmp_path):
+    # sorted keys + trailing newline: diffs stay reviewable in git.
+    spec = generate_spec(13, 8)
+    path = save_case(tmp_path / "case.json", spec, {"b": 1, "a": 2})
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text.index('"a"') < text.index('"b"')

@@ -1,0 +1,61 @@
+"""Differential-oracle behaviour: clean passes, injections caught."""
+import numpy as np
+import pytest
+
+from repro.fuzz.generator import generate_spec
+from repro.fuzz.lowering import INJECTIONS, ISAS, lower
+from repro.fuzz.oracle import clone_memory, run_case
+from repro.fuzz.reference import materialize
+from repro.memory.backing import Memory
+
+
+def test_clean_cases_pass():
+    for index in range(40):
+        spec = generate_spec(5, index)
+        report = run_case(spec, check_timing=index % 10 == 0)
+        assert report.ok, (spec, [f.to_dict() for f in report.failures])
+
+
+def test_timing_invariants_checked_when_requested():
+    spec = generate_spec(5, 0)
+    report = run_case(spec, check_timing=True)
+    assert report.timing_checked
+    assert run_case(spec).timing_checked is False
+
+
+def test_every_lowering_produces_a_program():
+    spec = generate_spec(5, 1)
+    art = materialize(spec)
+    for isa in ISAS:
+        program = lower(spec, art, isa)
+        assert len(program.instructions) > 0
+
+
+def test_clone_memory_is_independent():
+    mem = Memory(size=4096)
+    mem.data[100] = 42
+    copy = clone_memory(mem)
+    copy.data[100] = 7
+    assert mem.data[100] == 42
+    assert np.array_equal(mem.data[:100], copy.data[:100])
+
+
+@pytest.mark.parametrize("inject", sorted(INJECTIONS))
+def test_injection_is_caught(inject):
+    # Each documented distortion of the UVE lowering must be detected
+    # within a modest budget of generated cases.
+    for index in range(80):
+        spec = generate_spec(0, index)
+        report = run_case(spec, inject=inject)
+        if not report.ok:
+            # The bug must show up on the UVE side of the differential.
+            assert any("uve" in f.isa for f in report.failures)
+            return
+    pytest.fail(f"injection {inject!r} survived 80 cases undetected")
+
+
+def test_unknown_injection_rejected():
+    spec = generate_spec(0, 0)
+    art = materialize(spec)
+    with pytest.raises(ValueError, match="unknown injection"):
+        lower(spec, art, "uve", inject="no-such-injection")

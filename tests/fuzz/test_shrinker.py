@@ -1,0 +1,96 @@
+"""Shrinker: minimises while preserving failure and well-definedness."""
+import pytest
+
+from repro.fuzz.generator import generate_spec
+from repro.fuzz.oracle import run_case
+from repro.fuzz.shrinker import shrink, valid
+from repro.fuzz.spec import ArraySpec, CaseSpec, OpStep
+
+
+def _simple_spec(**overrides):
+    base = CaseSpec(
+        seed=1,
+        family="elementwise",
+        etype="F32",
+        vector_bits=256,
+        sizes=(8, 4),
+        inputs=(
+            ArraySpec("a", (0, 0), (1, 8), ()),
+            ArraySpec("b", (0, 0), (1, 8), ()),
+        ),
+        output=ArraySpec("c", (0, 0), (1, 8), ()),
+        ops=(OpStep("add", "b"), OpStep("mul", None, 2.0)),
+    )
+    return base.with_(**overrides)
+
+
+def test_valid_accepts_generated_specs():
+    for index in range(60):
+        assert valid(generate_spec(9, index))
+
+
+def test_valid_rejects_degenerate_specs():
+    assert not valid(_simple_spec(sizes=(0, 4)))
+    bad_output = ArraySpec("c", (0, 0), (0, 8), ())
+    assert not valid(_simple_spec(output=bad_output))
+
+
+def test_shrink_reaches_synthetic_minimum():
+    # Predicate: "dim-0 size is at least 3" — the shrinker should drive
+    # everything else to its floor while keeping that size >= 3.
+    spec = generate_spec(9, 4)
+
+    def failing(s):
+        return s.sizes[0] >= 3
+
+    small = shrink(spec, failing)
+    assert failing(small)
+    assert small.sizes[0] in (3, 4)  # halving floor, candidates are 1 or //2
+    assert all(size == 1 for size in small.sizes[1:])
+    assert small.ops == ()
+
+
+def test_shrink_never_returns_invalid(monkeypatch):
+    spec = generate_spec(9, 7)
+    seen = []
+
+    def failing(s):
+        seen.append(s)
+        return True  # everything "fails": maximal shrink pressure
+
+    small = shrink(spec, failing)
+    assert valid(small)
+    assert all(valid(s) for s in seen)
+
+
+def test_shrink_respects_eval_budget():
+    spec = generate_spec(9, 11)
+    calls = []
+
+    def failing(s):
+        calls.append(s)
+        return False
+
+    shrink(spec, failing, max_evals=17)
+    assert len(calls) <= 17
+
+
+@pytest.mark.parametrize("inject", ["uve-dim0-size-off-by-one"])
+def test_shrunk_injected_failure_is_minimal_and_replayable(inject):
+    failing_spec = None
+    for index in range(60):
+        spec = generate_spec(0, index)
+        if not run_case(spec, inject=inject).ok:
+            failing_spec = spec
+            break
+    assert failing_spec is not None, "injection not caught in 60 cases"
+
+    small = shrink(
+        failing_spec, lambda s: not run_case(s, inject=inject).ok, max_evals=150
+    )
+    # Replayable: still fails with the injection, passes without it.
+    assert not run_case(small, inject=inject).ok
+    assert run_case(small).ok
+    # Minimal enough for a human: the acceptance bar is <= 3 dims.
+    assert small.ndims <= 3
+    assert small.sizes[0] * max(1, small.ndims) <= failing_spec.sizes[0] * 64

@@ -1,0 +1,49 @@
+"""Kernel registry behaviour, including import-failure surfacing."""
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import registry
+
+
+def test_core_kernels_registered():
+    for name in ("memcpy", "stream", "saxpy"):
+        assert registry.get_kernel(name).name == name
+
+
+def test_all_kernels_sorted_by_letter():
+    letters = [k.letter for k in registry.all_kernels()]
+    assert letters == sorted(letters)
+
+
+def test_unknown_kernel_lists_available():
+    with pytest.raises(ConfigError, match="available:"):
+        registry.get_kernel("no-such-kernel")
+
+
+def test_import_failures_returns_a_copy():
+    failures = registry.import_failures()
+    failures["fake"] = "tampered"
+    assert "fake" not in registry.import_failures()
+
+
+def test_optional_import_failure_is_recorded_and_surfaced():
+    registry._register_optional(
+        [("repro.kernels.does_not_exist", "NopeKernel")]
+    )
+    try:
+        failures = registry.import_failures()
+        assert "repro.kernels.does_not_exist" in failures
+        assert "does_not_exist" in failures["repro.kernels.does_not_exist"]
+        # get_kernel's error now explains *why* the kernel is missing.
+        with pytest.raises(ConfigError, match="failed to import"):
+            registry.get_kernel("nope")
+        with pytest.raises(ConfigError, match="does_not_exist"):
+            registry.get_kernel("nope")
+    finally:
+        registry._IMPORT_ERRORS.pop("repro.kernels.does_not_exist", None)
+
+
+def test_no_optional_module_fails_in_this_build():
+    # The full evaluation suite ships with the repo; a failure here means
+    # a kernel module broke at import time (syntax error, missing dep).
+    assert registry.import_failures() == {}

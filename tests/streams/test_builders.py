@@ -2,7 +2,7 @@
 import pytest
 
 from repro.common.types import ElementType
-from repro.errors import DescriptorError
+from repro.errors import DescriptorError, StreamError
 from repro.streams import (
     Direction,
     MemLevel,
@@ -65,7 +65,10 @@ class TestRepeatedBuilder:
         pattern = linear(0, 2)
         for _ in range(7):
             pattern = repeated(pattern, 2)
-        with pytest.raises(DescriptorError):
+        # Builders now reject over-limit patterns up front (StreamError
+        # from streams.limits enforcement) before StreamPattern
+        # construction would raise DescriptorError.
+        with pytest.raises(StreamError):
             repeated(pattern, 2)  # would be the ninth dimension
 
 

@@ -1,0 +1,141 @@
+"""Streaming Engine resource limits (paper §III-A.2).
+
+Each architectural bound — 8 dimensions, 7 modifiers, 32 hardware
+streams — is enforced at configuration time on both paths that build
+stream patterns: the Python builder API and the instruction-level
+configuration protocol inside the functional simulator.
+"""
+import pytest
+
+from repro.errors import StreamError
+from repro.isa.assembler import assemble
+from repro.memory.backing import Memory
+from repro.sim.functional import FunctionalSimulator, hardware_stream_count
+from repro.streams import builders
+from repro.streams.descriptor import (
+    Descriptor,
+    Param,
+    StaticBehavior,
+    StaticModifier,
+)
+from repro.streams.limits import MAX_DIMENSIONS, MAX_MODIFIERS, MAX_STREAMS
+from repro.streams.pattern import Level, StreamPattern
+
+
+def _run(source: str) -> FunctionalSimulator:
+    sim = FunctionalSimulator(assemble(source), memory=Memory(size=1 << 20))
+    sim.run()
+    return sim
+
+
+def _nested(levels: int) -> StreamPattern:
+    pattern = builders.linear(0, 4)
+    for _ in range(levels - 1):
+        pattern = builders.repeated(pattern, 2)
+    return pattern
+
+
+def _with_mods(nmods: int) -> StreamPattern:
+    mods = [
+        StaticModifier(Param.OFFSET, StaticBehavior.ADD, 1, 2)
+        for _ in range(nmods)
+    ]
+    return StreamPattern(
+        levels=[Level(Descriptor(0, 4, 1)), Level(Descriptor(0, 2, 4), mods)]
+    )
+
+
+class TestBuilderLimits:
+    def test_max_dimensions_reachable(self):
+        assert _nested(MAX_DIMENSIONS).ndims == MAX_DIMENSIONS
+
+    def test_repeated_rejects_ninth_dimension(self):
+        with pytest.raises(StreamError, match="dimensions exceed"):
+            builders.repeated(_nested(MAX_DIMENSIONS), 2)
+
+    def test_max_modifiers_reachable(self):
+        assert builders.repeated(_with_mods(MAX_MODIFIERS), 2) is not None
+
+    def test_pattern_rejects_eighth_modifier(self):
+        from repro.errors import DescriptorError
+
+        with pytest.raises(DescriptorError, match=f"at most {MAX_MODIFIERS}"):
+            _with_mods(MAX_MODIFIERS + 1)
+
+    def test_check_limits_rejects_eighth_modifier(self):
+        # The builder-level guard fires before StreamPattern construction.
+        mods = [
+            StaticModifier(Param.OFFSET, StaticBehavior.ADD, 1, 2)
+            for _ in range(MAX_MODIFIERS + 1)
+        ]
+        levels = [Level(Descriptor(0, 4, 1)), Level(Descriptor(0, 2, 4), mods)]
+        with pytest.raises(StreamError, match="modifiers exceed"):
+            builders._check_limits(levels, "test")
+
+    def test_indirect_checks_limits(self):
+        # indirect() itself builds two levels; its origin pattern counts
+        # toward hardware streams, not toward this pattern's dimensions.
+        pattern = builders.indirect(0, builders.linear(4096, 16))
+        assert pattern.ndims == 2
+        assert hardware_stream_count(pattern) == 2
+        doubled = builders.indirect(0, pattern)
+        assert hardware_stream_count(doubled) == 3
+
+
+class TestFunctionalConfigLimits:
+    def _dims_program(self, ndims: int) -> str:
+        lines = ["ss.ld.sta.w u0, 0, 4, 1"]
+        lines += ["ss.app u0, 0, 2, 8"] * (ndims - 2)
+        lines += ["ss.end u0, 0, 2, 64", "halt"]
+        return "\n".join(lines)
+
+    def test_eight_dimensions_accepted(self):
+        _run(self._dims_program(MAX_DIMENSIONS))
+
+    def test_ninth_dimension_rejected(self):
+        with pytest.raises(StreamError, match=f"at most {MAX_DIMENSIONS}"):
+            _run(self._dims_program(MAX_DIMENSIONS + 1))
+
+    def _mods_program(self, nmods: int) -> str:
+        lines = [
+            "ss.ld.sta.w u0, 0, 4, 1",
+            "ss.app u0, 0, 4, 4",
+        ]
+        lines += ["ss.app.mod u0, offset, add, 1, 2"] * (nmods - 1)
+        lines += ["ss.end.mod u0, offset, add, 1, 2", "halt"]
+        return "\n".join(lines)
+
+    def test_seven_modifiers_accepted(self):
+        _run(self._mods_program(MAX_MODIFIERS))
+
+    def test_eighth_modifier_rejected(self):
+        with pytest.raises(StreamError, match=f"at most {MAX_MODIFIERS}"):
+            _run(self._mods_program(MAX_MODIFIERS + 1))
+
+    def test_all_architectural_streams_usable(self):
+        lines = [
+            f"ss.ld.w u{i}, {i * 64}, 4, 1" for i in range(MAX_STREAMS)
+        ] + ["halt"]
+        _run("\n".join(lines))
+
+    def test_indirect_origin_counts_toward_stream_budget(self):
+        # 31 plain streams + an indirect stream (2 hardware slots:
+        # itself plus its resident origin) exceed the 32-slot engine.
+        lines = [
+            f"ss.ld.w u{i}, {i * 64}, 4, 1" for i in range(MAX_STREAMS - 1)
+        ]
+        lines += [
+            "ss.ld.w     u31, 4096, 4, 1",
+            "ss.ld.sta.w u31, 0, 4, 1",
+            "ss.end.ind  u31, offset, set-add, u31",
+            "halt",
+        ]
+        with pytest.raises(StreamError, match=f"has {MAX_STREAMS}"):
+            _run("\n".join(lines))
+
+    def test_reconfiguring_a_register_frees_its_stream(self):
+        lines = [
+            f"ss.ld.w u{i}, {i * 64}, 4, 1" for i in range(MAX_STREAMS)
+        ]
+        lines += ["ss.ld.w u0, 8192, 4, 1", "halt"]  # replaces, not adds
+        _run("\n".join(lines))

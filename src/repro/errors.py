@@ -43,3 +43,11 @@ class PageFaultError(MemoryAccessError):
 
 class ConfigError(ReproError):
     """Inconsistent simulator configuration."""
+
+
+class IRError(ReproError):
+    """Structurally invalid loop-nest IR (see ``repro.ir.validate``)."""
+
+
+class LoweringError(ReproError):
+    """A backend cannot express a (valid) IR nest on its ISA."""

@@ -16,10 +16,17 @@ must leave the output region in the same state:
   the case is not NEON-vectorisable (non-unit or dynamic innermost
   stride, predication).
 
-The scalar/SVE/NEON backends share the :class:`_Nest` scaffolding for
-outer loops, static-modifier application, and row-address computation;
-the UVE backend encodes the same semantics in stream descriptors, which
-is exactly the redundancy the differential oracle exploits.
+Since the loop-nest IR refactor this module is a thin bridge: a spec is
+placed into a :class:`repro.ir.Nest` (:meth:`CaseSpec.to_ir`, pinned to
+the general ``nested`` schedule so programs stay byte-identical to the
+pre-IR lowering) and emitted by the shared backends in
+:mod:`repro.lower` — the same code that lowers the hand-written
+kernels.  What keeps the differential oracle honest is no longer four
+separate lowerings but the independence of the **reference**: the NumPy
+expander (:mod:`repro.fuzz.reference`) never touches the IR or the
+backends, and the per-ISA backends still interpret modifier/indirect
+semantics through disjoint mechanisms (descriptors vs. explicit loop
+scaffolding).
 
 ``inject`` selects a deliberate semantic distortion of the **UVE**
 lowering only (see :data:`INJECTIONS`); the other backends and the
@@ -29,106 +36,14 @@ tested.
 """
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Optional
 
-from repro.common.types import ElementType
 from repro.fuzz.reference import Artifacts
-from repro.fuzz.spec import ArraySpec, CaseSpec, ModSpec
-from repro.isa.neon_ops import (
-    NVDup,
-    NVFma,
-    NVLoad,
-    NVOp,
-    NVRed,
-    NVStore,
-    NVUnary,
-    neon_lanes,
-)
-from repro.isa.program import Program, ProgramBuilder
-from repro.isa.registers import Reg, f, p, u, x
-from repro.isa.scalar_ops import (
-    BranchCmp,
-    FLi,
-    FMac,
-    FOp,
-    FUnary,
-    Halt,
-    IntOp,
-    Jump,
-    Li,
-    Load,
-    Store,
-)
-from repro.isa.sve_ops import (
-    CmpPred,
-    Dup,
-    Fmla,
-    IncElems,
-    Index,
-    Ld1,
-    Ld1Gather,
-    PTrue,
-    Red,
-    St1,
-    St1Scatter,
-    VOp,
-    VUnary,
-    WhileLt,
-)
-from repro.isa.uve_ops import (
-    SoBranchEnd,
-    SoDup,
-    SoMac,
-    SoMove,
-    SoOp,
-    SoOpScalar,
-    SoPredComp,
-    SoRedScalar,
-    SoScalarRead,
-    SoScalarWrite,
-    SoUnary,
-    SsApp,
-    SsAppInd,
-    SsAppMod,
-    SsConfig1D,
-    SsSta,
-)
-from repro.streams.descriptor import IndirectBehavior, Param, StaticBehavior
-from repro.streams.pattern import Direction
+from repro.fuzz.spec import CaseSpec
+from repro.isa.program import Program
+from repro.lower import INJECTIONS, ISAS, lower as lower_nest
 
-#: the ISAs every case is lowered to, in oracle order.
-ISAS = ("uve", "scalar", "sve", "neon")
-
-#: deliberate UVE-lowering distortions used to validate the oracle.
-INJECTIONS = {
-    "uve-mod-extra-count": (
-        "static modifiers are configured with count+1, firing once more "
-        "than the spec (and the reference) intends"
-    ),
-    "uve-dim0-size-off-by-one": (
-        "stream a's innermost dimension is configured one element short"
-    ),
-    "uve-ind-set-value": (
-        "the indirect modifier uses SET_VALUE instead of SET_ADD, "
-        "dropping the configured base offset from gathered addresses"
-    ),
-}
-
-_PARAM = {"offset": Param.OFFSET, "size": Param.SIZE, "stride": Param.STRIDE}
-_BEHAVIOR = {"add": StaticBehavior.ADD, "sub": StaticBehavior.SUB}
-_INV_COND = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "gt": "le", "le": "gt"}
-
-# Scalar register conventions shared by the scalar/SVE/NEON backends.
-_ACC_F, _PART_F = f(1), f(2)
-_A_F, _B_F, _RUN_F = f(8), f(9), f(10)
-_ACC_X, _SIZE_X, _IDX_X, _J_X = x(1), x(2), x(3), x(4)
-_T5, _PART_X, _T7 = x(5), x(6), x(7)
-_ROW = {"a": x(8), "b": x(9), "c": x(10)}
-_A_X, _B_X, _RUN_X = x(11), x(12), x(13)
-#: registers available for dynamic (modifier-written) working parameters.
-_DYN_POOL = (14, 15, 16, 17, 18, 19, 28, 29, 30)
-
-Operand = Union[Reg, int]
+__all__ = ["INJECTIONS", "ISAS", "lower"]
 
 
 def lower(
@@ -140,658 +55,7 @@ def lower(
     """Lower ``spec`` (materialised as ``art``) to one ISA's program."""
     if inject is not None and inject not in INJECTIONS:
         raise ValueError(f"unknown injection {inject!r}")
-    if isa == "uve":
-        return _lower_uve(spec, art, inject)
-    if isa == "scalar":
-        return _lower_scalar(spec, art)
-    if isa == "sve":
-        return _lower_sve(spec, art)
-    if isa == "neon":
-        return _lower_neon(spec, art)
-    raise ValueError(f"unknown isa {isa!r}")
-
-
-def _has_b(spec: CaseSpec) -> bool:
-    return any(arr.name == "b" for arr in spec.inputs)
-
-
-def _imm_value(spec: CaseSpec, imm: float) -> Union[int, float]:
-    return float(imm) if spec.is_float else int(imm)
-
-
-# ---------------------------------------------------------------------------
-# Shared loop-nest scaffolding (scalar / SVE / NEON)
-# ---------------------------------------------------------------------------
-
-
-class _Nest:
-    """Explicit loop nest with working parameters in registers.
-
-    Mirrors the Streaming Engine's traversal semantics: entering level
-    ``k`` resets the level-``k-1`` working parameters to their
-    configured values and rearms the modifiers bound at ``k``; bound
-    modifiers fire before each of the first ``count`` iterations; at
-    every level-0 entry the per-array row byte addresses are recomputed
-    from the current working parameters.
-    """
-
-    def __init__(self, spec: CaseSpec, art: Artifacts, b: ProgramBuilder):
-        self.spec = spec
-        self.art = art
-        self.b = b
-        self.etype = spec.element_type
-        self.width = self.etype.width
-        self._label_seq = 0
-        # Dynamic working parameters: (target, owner, target_level) -> reg.
-        # Sizes are shared across arrays (owner "*"), offsets/strides are
-        # per-array.  Each modifier instance gets its own firing counter.
-        self.dyn: Dict[Tuple[str, str, int], Reg] = {}
-        self.counters: List[Tuple[ModSpec, str, Reg]] = []
-        pool = iter(_DYN_POOL)
-
-        def take() -> Reg:
-            try:
-                return x(next(pool))
-            except StopIteration:
-                raise ValueError(
-                    "case has too many dynamic parameters/modifiers for "
-                    "the scalar lowering's register pool"
-                ) from None
-
-        for mod in spec.size_mods:
-            key = ("size", "*", mod.level - 1)
-            if key not in self.dyn:
-                self.dyn[key] = take()
-            self.counters.append((mod, "*", take()))
-        for arr in spec.arrays:
-            for mod in arr.mods:
-                key = (mod.target, arr.name, mod.level - 1)
-                if key not in self.dyn:
-                    self.dyn[key] = take()
-                self.counters.append((mod, arr.name, take()))
-
-    # -- helpers ------------------------------------------------------------
-
-    def label(self, stem: str) -> str:
-        self._label_seq += 1
-        return f"{stem}_{self._label_seq}"
-
-    def row_arrays(self) -> Tuple[ArraySpec, ...]:
-        """Arrays addressed per-row: inputs always; the output too,
-        unless the family reduces into a single cell after the nest."""
-        if self.spec.reduce is not None:
-            return self.spec.inputs
-        return self.spec.arrays
-
-    def size_operand(self, level: int) -> Operand:
-        return self.dyn.get(("size", "*", level), self.spec.sizes[level])
-
-    def stride_operand(self, arr: ArraySpec, level: int) -> Operand:
-        return self.dyn.get(("stride", arr.name, level), arr.strides[level])
-
-    def _configured(self, target: str, owner: str, level: int) -> int:
-        if target == "size":
-            return self.spec.sizes[level]
-        arr = self.spec.array(owner)
-        return arr.offsets[level] if target == "offset" else arr.strides[level]
-
-    # -- emission -----------------------------------------------------------
-
-    def emit(self, inner: Callable[["_Nest"], None]) -> None:
-        self._emit_level(self.spec.ndims - 1, inner)
-
-    def _emit_level(self, k: int, inner: Callable[["_Nest"], None]) -> None:
-        b, spec = self.b, self.spec
-        if k == 0:
-            self._emit_rows()
-            inner(self)
-            return
-        # Entering level k: reset the level below, rearm bound modifiers.
-        for (target, owner, lvl), reg in self.dyn.items():
-            if lvl == k - 1:
-                b.emit(Li(reg, self._configured(target, owner, lvl)))
-        for mod, _owner, creg in self.counters:
-            if mod.level == k:
-                b.emit(Li(creg, 0))
-        i_reg = x(20 + k)
-        b.emit(Li(i_reg, 0))
-        top, end = self.label(f"l{k}_top"), self.label(f"l{k}_end")
-        b.label(top)
-        b.emit(BranchCmp("ge", i_reg, self.size_operand(k), end))
-        for mod, owner, creg in self.counters:
-            if mod.level == k:
-                self._emit_mod(mod, owner, creg)
-        if spec.indirect is not None and k == 1:
-            # idx[i1] -> _IDX_X (int32 vector laid out by materialize).
-            b.emit(IntOp("mul", _T5, i_reg, 4))
-            b.emit(IntOp("add", _T5, _T5, self.art.idx_addr))
-            b.emit(Load(_IDX_X, _T5, 0, ElementType.I32))
-        self._emit_level(k - 1, inner)
-        b.emit(IntOp("add", i_reg, i_reg, 1))
-        b.emit(Jump(top))
-        b.label(end)
-
-    def _emit_mod(self, mod: ModSpec, owner: str, creg: Reg) -> None:
-        b = self.b
-        skip = self.label("mod_skip")
-        b.emit(BranchCmp("ge", creg, mod.count, skip))
-        key = (mod.target, owner, mod.level - 1)
-        reg = self.dyn[key]
-        b.emit(IntOp(mod.behavior, reg, reg, mod.displacement))
-        b.emit(IntOp("add", creg, creg, 1))
-        b.label(skip)
-
-    def _emit_rows(self) -> None:
-        """Row byte address of every active array from the current
-        working parameters: ``bias + sum_k(off_k + i_k * stride_k)``."""
-        spec, art, b = self.spec, self.art, self.b
-        for arr in self.row_arrays():
-            row = _ROW[arr.name]
-            const = art.views[arr.name].bias
-            dyn_offsets = []
-            for lvl in range(spec.ndims):
-                key = ("offset", arr.name, lvl)
-                if key in self.dyn:
-                    dyn_offsets.append(self.dyn[key])
-                else:
-                    const += arr.offsets[lvl]
-            b.emit(Li(row, const))
-            for reg in dyn_offsets:
-                b.emit(IntOp("add", row, row, reg))
-            for lvl in range(1, spec.ndims):
-                b.emit(IntOp("mul", _T5, x(20 + lvl), self.stride_operand(arr, lvl)))
-                b.emit(IntOp("add", row, row, _T5))
-            if spec.indirect is not None and spec.indirect.array == arr.name:
-                b.emit(IntOp("add", row, row, _IDX_X))
-            b.emit(IntOp("mul", row, row, self.width))
-
-
-def _emit_acc_init(b: ProgramBuilder, spec: CaseSpec) -> None:
-    if spec.reduce is None:
-        return
-    if spec.reduce == "min":
-        value: Union[int, float] = float("inf") if spec.is_float else 1 << 62
-    elif spec.reduce == "max":
-        value = float("-inf") if spec.is_float else -(1 << 62)
-    else:
-        value = 0
-    if spec.is_float:
-        b.emit(FLi(_ACC_F, float(value)))
-    else:
-        b.emit(Li(_ACC_X, int(value)))
-
-
-def _emit_acc_store(b: ProgramBuilder, spec: CaseSpec, art: Artifacts) -> None:
-    etype = spec.element_type
-    addr = (art.views["c"].bias + spec.output.offsets[0]) * etype.width
-    b.emit(Li(_T7, addr))
-    b.emit(Store(_ACC_F if spec.is_float else _ACC_X, _T7, 0, etype))
-
-
-def _emit_acc_step(b: ProgramBuilder, spec: CaseSpec, part: Reg) -> None:
-    if spec.is_float:
-        b.emit(FOp(spec.reduce, _ACC_F, _ACC_F, part))
-    else:
-        b.emit(IntOp(spec.reduce, _ACC_X, _ACC_X, part))
-
-
-def _emit_scalar_chain(
-    b: ProgramBuilder, spec: CaseSpec, a_reg: Reg, b_reg: Reg, run_reg: Reg
-) -> Reg:
-    """The op chain on scalar registers; returns the result register."""
-    is_f = spec.is_float
-    run = a_reg
-    for step in spec.ops:
-        if step.rhs is None:
-            if not is_f:
-                raise ValueError("unary chain steps require a float etype")
-            b.emit(FUnary(step.op, run_reg, run))
-        else:
-            rhs = b_reg if step.rhs == "b" else _imm_value(spec, step.imm)
-            if is_f:
-                b.emit(FOp(step.op, run_reg, run, rhs))
-            else:
-                b.emit(IntOp(step.op, run_reg, run, rhs))
-        run = run_reg
-    return run
-
-
-# ---------------------------------------------------------------------------
-# Scalar backend
-# ---------------------------------------------------------------------------
-
-
-def _scalar_body(nest: _Nest) -> None:
-    """One element per iteration of an explicit dim-0 loop."""
-    b, spec = nest.b, nest.spec
-    etype, width, is_f = nest.etype, nest.width, nest.spec.is_float
-    has_b = _has_b(spec)
-    a_reg = _A_F if is_f else _A_X
-    b_reg = _B_F if is_f else _B_X
-    run_reg = _RUN_F if is_f else _RUN_X
-    size_op = nest.size_operand(0)
-    top, end = nest.label("s_top"), nest.label("s_end")
-    b.emit(Li(_J_X, 0))
-    b.label(top)
-    b.emit(BranchCmp("ge", _J_X, size_op, end))
-    b.emit(Load(a_reg, _ROW["a"], 0, etype))
-    if has_b:
-        b.emit(Load(b_reg, _ROW["b"], 0, etype))
-    if spec.family == "predicated":
-        skip = nest.label("p_skip")
-        b.emit(BranchCmp(_INV_COND[spec.pred_cond], a_reg, b_reg, skip))
-        _emit_acc_step(b, spec, a_reg)
-        b.label(skip)
-    elif spec.reduce is not None:
-        if spec.use_mac:
-            b.emit(FMac(_ACC_F, a_reg, b_reg))
-        else:
-            res = _emit_scalar_chain(b, spec, a_reg, b_reg, run_reg)
-            _emit_acc_step(b, spec, res)
-    else:
-        res = _emit_scalar_chain(b, spec, a_reg, b_reg, run_reg)
-        b.emit(Store(res, _ROW["c"], 0, etype))
-    for arr in nest.row_arrays():
-        s_op = nest.stride_operand(arr, 0)
-        row = _ROW[arr.name]
-        if isinstance(s_op, Reg):
-            b.emit(IntOp("mul", _T5, s_op, width))
-            b.emit(IntOp("add", row, row, _T5))
-        else:
-            b.emit(IntOp("add", row, row, s_op * width))
-    b.emit(IntOp("add", _J_X, _J_X, 1))
-    b.emit(Jump(top))
-    b.label(end)
-
-
-def _lower_scalar(spec: CaseSpec, art: Artifacts) -> Program:
-    b = ProgramBuilder(f"fuzz-{spec.family}-scalar")
-    nest = _Nest(spec, art, b)
-    _emit_acc_init(b, spec)
-    nest.emit(_scalar_body)
-    if spec.reduce is not None:
-        _emit_acc_store(b, spec, art)
-    b.emit(Halt())
-    return b.build()
-
-
-# ---------------------------------------------------------------------------
-# SVE backend
-# ---------------------------------------------------------------------------
-
-
-def _sve_access(nest: _Nest, arr: ArraySpec, vreg: Reg, store: bool) -> None:
-    """Load/store one vector of ``arr``'s row under predicate p1.
-
-    Unit, static innermost stride uses contiguous ld1/st1 indexed by the
-    element counter; anything else goes through an index vector and
-    gather/scatter.
-    """
-    b, etype = nest.b, nest.etype
-    row = _ROW[arr.name]
-    s_op = nest.stride_operand(arr, 0)
-    if not isinstance(s_op, Reg) and s_op == 1:
-        if store:
-            b.emit(St1(vreg, p(1), row, index=_J_X, etype=etype))
-        else:
-            b.emit(Ld1(vreg, p(1), row, index=_J_X, etype=etype))
-        return
-    b.emit(IntOp("mul", _T5, _J_X, s_op))
-    b.emit(Index(u(5), _T5, s_op, etype))
-    if store:
-        b.emit(St1Scatter(vreg, p(1), row, u(5), etype))
-    else:
-        b.emit(Ld1Gather(vreg, p(1), row, u(5), etype))
-
-
-def _sve_chain(nest: _Nest, va: Reg, vb: Reg) -> Reg:
-    b, spec, etype = nest.b, nest.spec, nest.etype
-    run = va
-    for i, step in enumerate(spec.ops):
-        if step.rhs is None:
-            b.emit(VUnary(step.op, u(3), p(1), run, etype))
-        else:
-            rhs = vb if step.rhs == "b" else u(16 + i)
-            b.emit(VOp(step.op, u(3), p(1), run, rhs, etype))
-        run = u(3)
-    return run
-
-
-def _sve_body(nest: _Nest) -> None:
-    b, spec, etype = nest.b, nest.spec, nest.etype
-    is_f = spec.is_float
-    has_b = _has_b(spec)
-    size_op = nest.size_operand(0)
-    if isinstance(size_op, Reg):
-        size_reg = size_op
-    else:
-        b.emit(Li(_SIZE_X, size_op))
-        size_reg = _SIZE_X
-    part = _PART_F if is_f else _PART_X
-    top, end = nest.label("v_top"), nest.label("v_end")
-    b.emit(Li(_J_X, 0))
-    b.label(top)
-    b.emit(BranchCmp("ge", _J_X, size_reg, end))
-    b.emit(WhileLt(p(1), _J_X, size_reg, etype))
-    _sve_access(nest, spec.array("a"), u(1), store=False)
-    if has_b:
-        _sve_access(nest, spec.array("b"), u(2), store=False)
-    if spec.family == "predicated":
-        b.emit(CmpPred(spec.pred_cond, p(2), p(1), u(1), u(2), etype))
-        b.emit(Red("add", part, p(2), u(1), etype))
-        _emit_acc_step(b, spec, part)
-    elif spec.reduce is not None and spec.use_mac:
-        b.emit(Fmla(u(4), p(1), u(1), u(2), etype))
-    elif spec.reduce is not None:
-        res = _sve_chain(nest, u(1), u(2))
-        b.emit(Red(spec.reduce, part, p(1), res, etype))
-        _emit_acc_step(b, spec, part)
-    else:
-        res = _sve_chain(nest, u(1), u(2))
-        _sve_access(nest, spec.output, res, store=True)
-    b.emit(IncElems(_J_X, etype))
-    b.emit(Jump(top))
-    b.label(end)
-
-
-def _lower_sve(spec: CaseSpec, art: Artifacts) -> Program:
-    b = ProgramBuilder(f"fuzz-{spec.family}-sve")
-    nest = _Nest(spec, art, b)
-    etype = spec.element_type
-    _emit_acc_init(b, spec)
-    for i, step in enumerate(spec.ops):
-        if step.rhs == "imm":
-            b.emit(Dup(u(16 + i), _imm_value(spec, step.imm), etype))
-    if spec.use_mac:
-        b.emit(Dup(u(4), _imm_value(spec, 0), etype))
-    nest.emit(_sve_body)
-    if spec.use_mac:
-        b.emit(PTrue(p(2), etype))
-        b.emit(Red("add", _ACC_F, p(2), u(4), etype))
-    if spec.reduce is not None:
-        _emit_acc_store(b, spec, art)
-    b.emit(Halt())
-    return b.build()
-
-
-# ---------------------------------------------------------------------------
-# NEON backend
-# ---------------------------------------------------------------------------
-
-
-def _neon_vectorizable(nest: _Nest) -> bool:
-    """Fixed-width NEON only handles unit, never-modified innermost
-    strides and has no predication; everything else runs scalar."""
-    if nest.spec.family == "predicated":
-        return False
-    for arr in nest.row_arrays():
-        if arr.strides[0] != 1:
-            return False
-        if ("stride", arr.name, 0) in nest.dyn:
-            return False
-    return True
-
-
-def _neon_chain(nest: _Nest, va: Reg, vb: Reg) -> Reg:
-    b, spec, etype = nest.b, nest.spec, nest.etype
-    run = va
-    for i, step in enumerate(spec.ops):
-        if step.rhs is None:
-            b.emit(NVUnary(step.op, u(3), run, etype))
-        else:
-            rhs = vb if step.rhs == "b" else u(16 + i)
-            b.emit(NVOp(step.op, u(3), run, rhs, etype))
-        run = u(3)
-    return run
-
-
-def _neon_body(nest: _Nest) -> None:
-    b, spec, etype = nest.b, nest.spec, nest.etype
-    is_f = spec.is_float
-    has_b = _has_b(spec)
-    lanes = neon_lanes(etype)
-    part = _PART_F if is_f else _PART_X
-    size_op = nest.size_operand(0)
-    if isinstance(size_op, Reg):
-        b.emit(IntOp("and", _SIZE_X, size_op, -lanes))
-        main_op: Operand = _SIZE_X
-    else:
-        main_op = size_op - size_op % lanes
-    a_reg = _A_F if is_f else _A_X
-    b_reg = _B_F if is_f else _B_X
-    run_reg = _RUN_F if is_f else _RUN_X
-    vtop, vend = nest.label("n_top"), nest.label("n_end")
-    b.emit(Li(_J_X, 0))
-    b.label(vtop)
-    b.emit(BranchCmp("ge", _J_X, main_op, vend))
-    b.emit(NVLoad(u(1), _ROW["a"], 0, etype, post_inc=True))
-    if has_b:
-        b.emit(NVLoad(u(2), _ROW["b"], 0, etype, post_inc=True))
-    if spec.reduce is not None and spec.use_mac:
-        b.emit(NVFma(u(4), u(1), u(2), etype))
-    elif spec.reduce is not None:
-        res = _neon_chain(nest, u(1), u(2))
-        b.emit(NVRed(spec.reduce, part, res, etype))
-        _emit_acc_step(b, spec, part)
-    else:
-        res = _neon_chain(nest, u(1), u(2))
-        b.emit(NVStore(res, _ROW["c"], 0, etype, post_inc=True))
-    b.emit(IntOp("add", _J_X, _J_X, lanes))
-    b.emit(Jump(vtop))
-    b.label(vend)
-    # Scalar tail: the row cursors were already advanced by post_inc.
-    ttop, tend = nest.label("t_top"), nest.label("t_end")
-    b.label(ttop)
-    b.emit(BranchCmp("ge", _J_X, size_op, tend))
-    b.emit(Load(a_reg, _ROW["a"], 0, etype))
-    if has_b:
-        b.emit(Load(b_reg, _ROW["b"], 0, etype))
-    if spec.reduce is not None and spec.use_mac:
-        b.emit(FMac(_ACC_F, a_reg, b_reg))
-    elif spec.reduce is not None:
-        res = _emit_scalar_chain(b, spec, a_reg, b_reg, run_reg)
-        _emit_acc_step(b, spec, res)
-    else:
-        res = _emit_scalar_chain(b, spec, a_reg, b_reg, run_reg)
-        b.emit(Store(res, _ROW["c"], 0, etype))
-    for arr in nest.row_arrays():
-        b.emit(IntOp("add", _ROW[arr.name], _ROW[arr.name], nest.width))
-    b.emit(IntOp("add", _J_X, _J_X, 1))
-    b.emit(Jump(ttop))
-    b.label(tend)
-
-
-def _lower_neon(spec: CaseSpec, art: Artifacts) -> Program:
-    b = ProgramBuilder(f"fuzz-{spec.family}-neon")
-    nest = _Nest(spec, art, b)
-    etype = spec.element_type
-    _emit_acc_init(b, spec)
-    if not _neon_vectorizable(nest):
-        nest.emit(_scalar_body)
-        if spec.reduce is not None:
-            _emit_acc_store(b, spec, art)
-        b.emit(Halt())
-        return b.build()
-    for i, step in enumerate(spec.ops):
-        if step.rhs == "imm":
-            b.emit(NVDup(u(16 + i), _imm_value(spec, step.imm), etype))
-    if spec.use_mac:
-        b.emit(NVDup(u(4), _imm_value(spec, 0), etype))
-    nest.emit(_neon_body)
-    if spec.use_mac:
-        b.emit(NVRed("add", _PART_F, u(4), etype))
-        b.emit(FOp("add", _ACC_F, _ACC_F, _PART_F))
-    if spec.reduce is not None:
-        _emit_acc_store(b, spec, art)
-    b.emit(Halt())
-    return b.build()
-
-
-# ---------------------------------------------------------------------------
-# UVE backend
-# ---------------------------------------------------------------------------
-
-
-def _uve_configure(
-    b: ProgramBuilder,
-    spec: CaseSpec,
-    art: Artifacts,
-    arr: ArraySpec,
-    reg: Reg,
-    direction: Direction,
-    inject: Optional[str],
-) -> None:
-    etype = spec.element_type
-    base0 = art.views[arr.name].bias + arr.offsets[0]
-    size0 = spec.sizes[0]
-    if inject == "uve-dim0-size-off-by-one" and arr.name == "a" and size0 > 1:
-        size0 -= 1
-
-    if spec.indirect is not None and spec.indirect.array == arr.name:
-        # Origin stream of row indices, then the indirect level on top
-        # of the innermost descriptor (builders.indirect() shape).
-        b.emit(
-            SsConfig1D(
-                u(3),
-                Direction.LOAD,
-                art.idx_addr // 4,
-                spec.sizes[1],
-                1,
-                etype=ElementType.I32,
-            )
-        )
-        b.emit(SsSta(reg, direction, base0, size0, arr.strides[0], etype=etype))
-        behavior = (
-            IndirectBehavior.SET_VALUE
-            if inject == "uve-ind-set-value"
-            else IndirectBehavior.SET_ADD
-        )
-        b.emit(SsAppInd(reg, Param.OFFSET, behavior, u(3), last=True))
-        return
-
-    parts: List[Tuple[str, object]] = []
-    for level in range(1, spec.ndims):
-        parts.append(
-            ("app", (arr.offsets[level], spec.sizes[level], arr.strides[level]))
-        )
-        for mod in spec.mods_for(arr, level):
-            parts.append(("mod", mod))
-    if not parts:
-        b.emit(
-            SsConfig1D(reg, direction, base0, size0, arr.strides[0], etype=etype)
-        )
-        return
-    b.emit(SsSta(reg, direction, base0, size0, arr.strides[0], etype=etype))
-    for i, (kind, payload) in enumerate(parts):
-        last = i == len(parts) - 1
-        if kind == "app":
-            off, size, stride = payload
-            b.emit(SsApp(reg, off, size, stride, last=last))
-        else:
-            mod = payload
-            count = mod.count + (1 if inject == "uve-mod-extra-count" else 0)
-            b.emit(
-                SsAppMod(
-                    reg,
-                    _PARAM[mod.target],
-                    _BEHAVIOR[mod.behavior],
-                    mod.displacement,
-                    count,
-                    last=last,
-                )
-            )
-
-
-def _uve_chain(
-    b: ProgramBuilder, spec: CaseSpec, operand_b: Optional[Reg], final: Optional[Reg]
-) -> Reg:
-    """The op chain on stream-aware vector ops.  ``final`` routes the
-    last step straight into an output stream register (or None to keep
-    the result in the u10 temporary)."""
-    etype = spec.element_type
-    run = u(0)
-    if not spec.ops:
-        if final is not None:
-            b.emit(SoMove(final, run, etype))
-            return final
-        return run
-    for i, step in enumerate(spec.ops):
-        dest = final if (final is not None and i == len(spec.ops) - 1) else u(10)
-        if step.rhs is None:
-            b.emit(SoUnary(step.op, dest, run, etype))
-        elif step.rhs == "b":
-            b.emit(SoOp(step.op, dest, run, operand_b, etype))
-        else:
-            b.emit(SoOpScalar(step.op, dest, run, _imm_value(spec, step.imm), etype))
-        run = dest
-    return run
-
-
-def _uve_prepare_b(b: ProgramBuilder, spec: CaseSpec) -> Optional[Reg]:
-    """Stream b is consumed exactly once per loop iteration: directly
-    when the chain references it once, via a u9 staging move when it is
-    referenced several times (or not at all, to keep chunks aligned)."""
-    if not _has_b(spec):
-        return None
-    uses = sum(1 for step in spec.ops if step.rhs == "b")
-    if uses == 1:
-        return u(1)
-    b.emit(SoMove(u(9), u(1), spec.element_type))
-    return u(9)
-
-
-def _lower_uve(spec: CaseSpec, art: Artifacts, inject: Optional[str]) -> Program:
-    b = ProgramBuilder(f"fuzz-{spec.family}-uve")
-    etype = spec.element_type
-    is_f = spec.is_float
-    part = _PART_F if is_f else _PART_X
-    acc = _ACC_F if is_f else _ACC_X
-
-    _uve_configure(b, spec, art, spec.array("a"), u(0), Direction.LOAD, inject)
-    if _has_b(spec):
-        _uve_configure(b, spec, art, spec.array("b"), u(1), Direction.LOAD, inject)
-    if spec.reduce is not None:
-        c_base = art.views["c"].bias + spec.output.offsets[0]
-        b.emit(SsConfig1D(u(2), Direction.STORE, c_base, 1, 1, etype=etype))
-    else:
-        _uve_configure(b, spec, art, spec.output, u(2), Direction.STORE, inject)
-
-    _emit_acc_init(b, spec)
-    if spec.use_mac:
-        b.emit(SoDup(u(8), 0, etype))
-
-    b.label("loop")
-    if spec.family == "scalar":
-        a_reg = _A_F if is_f else _A_X
-        b_reg = _B_F if is_f else _B_X
-        run_reg = _RUN_F if is_f else _RUN_X
-        b.emit(SoScalarRead(a_reg, u(0), etype))
-        if _has_b(spec):
-            b.emit(SoScalarRead(b_reg, u(1), etype))
-        res = _emit_scalar_chain(b, spec, a_reg, b_reg, run_reg)
-        b.emit(SoScalarWrite(u(2), res, etype))
-    elif spec.family == "predicated":
-        b.emit(SoMove(u(8), u(0), etype))
-        b.emit(SoMove(u(9), u(1), etype))
-        b.emit(SoPredComp(spec.pred_cond, p(1), u(8), u(9), etype))
-        b.emit(SoRedScalar("add", part, u(8), etype, pred=p(1)))
-        _emit_acc_step(b, spec, part)
-    elif spec.reduce is not None:
-        if spec.use_mac:
-            b.emit(SoMac(u(8), u(0), u(1), etype))
-        else:
-            operand_b = _uve_prepare_b(b, spec)
-            res = _uve_chain(b, spec, operand_b, final=None)
-            b.emit(SoRedScalar(spec.reduce, part, res, etype))
-            _emit_acc_step(b, spec, part)
-    else:
-        operand_b = _uve_prepare_b(b, spec)
-        _uve_chain(b, spec, operand_b, final=u(2))
-    b.emit(SoBranchEnd(u(0), "loop"))
-
-    if spec.reduce is not None:
-        if spec.use_mac:
-            b.emit(SoRedScalar("add", acc, u(8), etype))
-        b.emit(SoScalarWrite(u(2), acc, etype))
-    b.emit(Halt())
-    return b.build()
+    if isa not in ISAS:
+        raise ValueError(f"unknown isa {isa!r}")
+    nest = spec.to_ir(art)
+    return lower_nest(nest, isa, inject=inject if isa == "uve" else None)

@@ -23,6 +23,18 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.types import ElementType
 
+# Canonical op/modifier vocabulary lives with the loop-nest IR; the spec
+# layer re-exports it so generator/shrinker imports keep working.
+from repro.ir.nodes import (  # noqa: F401  (re-exports)
+    COMPARE_OPS,
+    FLOAT_OPS,
+    INT_OPS,
+    MOD_BEHAVIORS,
+    MOD_TARGETS,
+    REDUCE_OPS,
+    UNARY_OPS,
+)
+
 #: case families the generator can sample.
 FAMILIES = (
     "elementwise",  # c[i] = chain(a[i], b[i]) stored per element
@@ -32,17 +44,6 @@ FAMILIES = (
     "gather",       # a indexed through an int32 index vector (load side)
     "scatter",      # c indexed through an int32 index vector (store side)
 )
-
-#: ops legal in element-wise chains, per type class.
-FLOAT_OPS = ("add", "sub", "mul", "min", "max")
-INT_OPS = ("add", "sub", "mul", "min", "max", "and", "or", "xor")
-UNARY_OPS = ("neg", "abs")
-REDUCE_OPS = ("add", "min", "max")
-COMPARE_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
-
-#: modifier parameter / behaviour vocabulary (mirrors streams.descriptor).
-MOD_TARGETS = ("offset", "size", "stride")
-MOD_BEHAVIORS = ("add", "sub")
 
 
 @dataclass(frozen=True)
@@ -259,3 +260,50 @@ class CaseSpec:
     def with_(self, **kwargs) -> "CaseSpec":
         """A copy with fields replaced — the shrinker's workhorse."""
         return replace(self, **kwargs)
+
+    # -- IR bridge ----------------------------------------------------------
+
+    def to_ir(self, art):
+        """This case as a placed :class:`repro.ir.Nest`.
+
+        ``art`` (:class:`repro.fuzz.reference.Artifacts`) supplies the
+        absolute placement — per-array base element indices and the
+        index-vector address.  ``schedule="nested"`` pins every backend
+        to its general loop-nest scaffolding so lowered fuzz programs
+        stay byte-identical to the pre-IR lowering.
+        """
+        from repro.ir.nodes import Access, Indirect, Mod, Nest, Op
+
+        def conv_mods(mods) -> Tuple[Mod, ...]:
+            return tuple(
+                Mod(m.level, m.target, m.behavior, m.displacement, m.count)
+                for m in mods
+            )
+
+        def conv(arr: ArraySpec) -> Access:
+            return Access(
+                name=arr.name,
+                base=art.views[arr.name].bias,
+                offsets=arr.offsets,
+                strides=arr.strides,
+                mods=conv_mods(arr.mods),
+            )
+
+        indirect = None
+        if self.indirect is not None:
+            indirect = Indirect(self.indirect.array, art.idx_addr)
+        return Nest(
+            name=f"fuzz-{self.family}",
+            etype=self.element_type,
+            sizes=self.sizes,
+            inputs=tuple(conv(arr) for arr in self.inputs),
+            output=conv(self.output),
+            ops=tuple(Op(o.op, o.rhs, o.imm) for o in self.ops),
+            size_mods=conv_mods(self.size_mods),
+            reduce=self.reduce,
+            pred_cond=self.pred_cond,
+            use_mac=self.use_mac,
+            scalar_engine=self.family == "scalar",
+            indirect=indirect,
+            schedule="nested",
+        )

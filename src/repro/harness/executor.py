@@ -56,10 +56,10 @@ class RunEvent:
         return tag
 
 
-def _execute_spec(spec: RunSpec, scale: float, seed: int):
+def _execute_spec(spec: RunSpec, scale: float, seed: int, lowering: str = "ir"):
     """Pool worker: rebuild a Runner from the picklable spec and run it."""
     start = time.perf_counter()
-    runner = Runner(scale=scale, seed=seed)
+    runner = Runner(scale=scale, seed=seed, lowering=lowering)
     record = runner.run_spec(spec)
     return record, time.perf_counter() - start, os.getpid()
 
@@ -74,12 +74,16 @@ class CampaignExecutor:
         jobs: Optional[int] = None,
         cache=None,
         progress: Optional[Callable[[str], None]] = None,
+        lowering: str = "ir",
     ) -> None:
         self.scale = scale
         self.seed = seed
         self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
         self.cache = cache
-        self.runner = Runner(scale=scale, seed=seed, disk_cache=cache)
+        self.lowering = lowering
+        self.runner = Runner(
+            scale=scale, seed=seed, disk_cache=cache, lowering=lowering
+        )
         self.progress = progress
         self.events: List[RunEvent] = []
 
@@ -93,7 +97,8 @@ class CampaignExecutor:
         specs: Dict[str, RunSpec] = {}
         for name in names:
             for spec in EXPERIMENTS[name].specs(self.runner):
-                specs.setdefault(spec.key(self.scale, self.seed), spec)
+                key = spec.key(self.scale, self.seed, self.lowering)
+                specs.setdefault(key, spec)
         return specs
 
     # -- Execution -----------------------------------------------------------
@@ -131,7 +136,9 @@ class CampaignExecutor:
     def _run_serial(self, pending: Dict[str, RunSpec]) -> None:
         remaining = len(pending)
         for key, spec in pending.items():
-            record, wall, worker = _execute_spec(spec, self.scale, self.seed)
+            record, wall, worker = _execute_spec(
+                spec, self.scale, self.seed, self.lowering
+            )
             remaining -= 1
             self._finish(key, spec, record, wall, worker, remaining)
 
@@ -139,7 +146,8 @@ class CampaignExecutor:
         remaining = len(pending)
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {
-                pool.submit(_execute_spec, spec, self.scale, self.seed):
+                pool.submit(_execute_spec, spec, self.scale, self.seed,
+                            self.lowering):
                     (key, spec)
                 for key, spec in pending.items()
             }

@@ -69,11 +69,14 @@ def run_fingerprint(
     seed: int,
     unroll: int = 0,
     salt: Optional[str] = None,
+    lowering: str = "ir",
 ) -> str:
     """Fingerprint identifying one simulation run.
 
     ``salt`` lets the on-disk cache mix in a code-version component so
-    stale results from an older simulator never satisfy a newer one.
+    stale results from an older simulator never satisfy a newer one;
+    ``lowering`` distinguishes IR-lowered programs from the legacy
+    hand-built ones (they can differ in code shape).
     """
     return fingerprint(
         {
@@ -84,5 +87,6 @@ def run_fingerprint(
             "seed": seed,
             "unroll": unroll,
             "salt": salt or "",
+            "lowering": lowering,
         }
     )

@@ -45,23 +45,29 @@ class RunSpec:
 
     Picklable, so a process-pool worker can rebuild the run from it.
     ``config=None`` means the ISA's default machine; ``unroll > 0``
-    selects the unrolled UVE build (Fig. 8.E).
+    selects the unrolled UVE build (Fig. 8.E).  ``lowering=None``
+    inherits the Runner's program-generation path (ir or legacy).
     """
 
     kernel: str
     isa: str
     config: Optional[MachineConfig] = None
     unroll: int = 0
+    lowering: Optional[str] = None
 
     def resolved_config(self) -> MachineConfig:
         if self.config is not None:
             return self.config
         return uve_machine() if self.isa == "uve" else baseline_machine()
 
-    def key(self, scale: float, seed: int) -> str:
+    def resolved_lowering(self, default: str = "ir") -> str:
+        return self.lowering if self.lowering is not None else default
+
+    def key(self, scale: float, seed: int, lowering: str = "ir") -> str:
         return run_fingerprint(
             self.kernel, self.isa, self.resolved_config(),
             scale, seed, self.unroll,
+            lowering=self.resolved_lowering(lowering),
         )
 
 
@@ -69,10 +75,20 @@ class Runner:
     """Runs and caches simulations for the experiment harness."""
 
     def __init__(
-        self, scale: float = 1.0, seed: int = 0, disk_cache=None
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        disk_cache=None,
+        lowering: str = "ir",
     ) -> None:
+        if lowering not in ("ir", "legacy"):
+            raise ConfigError(
+                f"unknown lowering {lowering!r} (expected 'ir' or 'legacy')"
+            )
         self.scale = scale
         self.seed = seed
+        #: program-generation path for every run (specs may override).
+        self.lowering = lowering
         #: optional ResultCache-like object (load/store) consulted on a
         #: memory miss, so re-runs only simulate what changed
         self.disk_cache = disk_cache
@@ -93,14 +109,17 @@ class Runner:
     def run_spec(self, spec: RunSpec) -> RunRecord:
         cfg = spec.resolved_config()
         _check_consistent(spec.isa, cfg)
-        key = spec.key(self.scale, self.seed)
+        key = spec.key(self.scale, self.seed, self.lowering)
         record = self._cache.get(key)
         if record is None and self.disk_cache is not None:
             record = self.disk_cache.load(key)
             if record is not None:
                 self._cache[key] = record
         if record is None:
-            record = self._simulate(spec.kernel, spec.isa, cfg, spec.unroll)
+            record = self._simulate(
+                spec.kernel, spec.isa, cfg, spec.unroll,
+                spec.resolved_lowering(self.lowering),
+            )
             self._cache[key] = record
             if self.disk_cache is not None:
                 self.disk_cache.store(key, record)
@@ -114,7 +133,12 @@ class Runner:
         return self._cache.get(key)
 
     def _simulate(
-        self, kernel_name: str, isa: str, cfg: MachineConfig, unroll: int = 0
+        self,
+        kernel_name: str,
+        isa: str,
+        cfg: MachineConfig,
+        unroll: int = 0,
+        lowering: str = "ir",
     ) -> RunRecord:
         kernel = get_kernel(kernel_name)
         wl = kernel.workload(seed=self.seed, scale=self.scale)
@@ -123,7 +147,9 @@ class Runner:
                 wl, cfg.vector_bits // 32, unroll=unroll
             )
         else:
-            program = kernel.build(isa, wl, cfg.vector_bits)
+            program = kernel.build(
+                isa, wl, cfg.vector_bits, lowering=lowering
+            )
         result: SimulationResult = Simulator(program, wl.memory, cfg).run()
         wl.verify()
         engine = result.pipeline.engine

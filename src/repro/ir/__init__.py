@@ -1,0 +1,44 @@
+"""Loop-nest intermediate representation.
+
+One validated description of a streamed loop nest
+(:class:`~repro.ir.nodes.Nest`), lowered to every ISA by the pluggable
+backends in :mod:`repro.lower`.  See ``docs/IR.md`` for the node
+reference and the backend contract.
+"""
+from repro.ir.nodes import (
+    Access,
+    COMPARE_OPS,
+    FLOAT_OPS,
+    FMA_OP,
+    INT_OPS,
+    Indirect,
+    MOD_BEHAVIORS,
+    MOD_TARGETS,
+    Mod,
+    Nest,
+    Op,
+    REDUCE_OPS,
+    SCHEDULES,
+    UNARY_OPS,
+    loop1d,
+)
+from repro.ir.validate import validate_nest
+
+__all__ = [
+    "Access",
+    "COMPARE_OPS",
+    "FLOAT_OPS",
+    "FMA_OP",
+    "INT_OPS",
+    "Indirect",
+    "MOD_BEHAVIORS",
+    "MOD_TARGETS",
+    "Mod",
+    "Nest",
+    "Op",
+    "REDUCE_OPS",
+    "SCHEDULES",
+    "UNARY_OPS",
+    "loop1d",
+    "validate_nest",
+]

@@ -1,0 +1,206 @@
+"""Loop-nest IR node types.
+
+A :class:`Nest` is the repo's single source of truth for "one loop nest
+over streamed arrays": shared geometry (``sizes``, innermost first, up
+to ``streams.limits.MAX_DIMENSIONS`` levels), one or two input arrays
+plus one output array with per-level affine access and static
+modifiers, an optional indirect (gather/scatter) level, an element-wise
+op chain, and optionally a reduction, a predicate, or scalar-engine
+consumption.  It generalises the fuzzer's
+:class:`~repro.fuzz.spec.CaseSpec` — the fuzz spec bridges into this IR
+via :meth:`CaseSpec.to_ir` — and the per-ISA backends in
+:mod:`repro.lower` turn a nest into a runnable
+:class:`~repro.isa.program.Program`.
+
+Unlike the fuzz spec (which is seed-addressed and serialisable), a nest
+is *placed*: every access carries its absolute base element index, so a
+backend needs nothing beyond the nest itself to emit code.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.common.types import ElementType
+from repro.streams.pattern import MemLevel
+
+#: ops legal in element-wise chains, per type class (canonical vocab;
+#: the fuzz spec layer re-exports these).
+FLOAT_OPS = ("add", "sub", "mul", "min", "max")
+INT_OPS = ("add", "sub", "mul", "min", "max", "and", "or", "xor")
+UNARY_OPS = ("neg", "abs")
+REDUCE_OPS = ("add", "min", "max")
+COMPARE_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: fused multiply-add chain step: ``run = imm * run + b``.  Kernel-only
+#: (the fuzz generator never samples it); backends with a native FMA
+#: lower it to one instruction, the rest decompose into mul + add.
+FMA_OP = "fma"
+
+#: modifier parameter / behaviour vocabulary (mirrors streams.descriptor).
+MOD_TARGETS = ("offset", "size", "stride")
+MOD_BEHAVIORS = ("add", "sub")
+
+#: nest scheduling hints: "auto" lets a backend pick its streamlined
+#: hand-kernel code shape when the nest qualifies; "nested" forces the
+#: general explicit-loop-nest scaffolding (the fuzz bridge pins this so
+#: fuzz programs stay byte-identical across refactors).
+SCHEDULES = ("auto", "nested")
+
+
+@dataclass(frozen=True)
+class Mod:
+    """A static descriptor modifier: bound at loop ``level`` (>= 1), it
+    mutates ``target`` of the level below by ``displacement`` on each of
+    the first ``count`` iterations of the bound level, and resets when
+    the bound level restarts — the `{T,B,D,E}` semantics of paper §II-B."""
+
+    level: int
+    target: str  # offset | size | stride
+    behavior: str  # add | sub
+    displacement: int
+    count: int
+
+    @property
+    def signed_displacement(self) -> int:
+        return -self.displacement if self.behavior == "sub" else self.displacement
+
+
+@dataclass(frozen=True)
+class Access:
+    """One array's placed view of the shared nest.
+
+    ``base`` is the array's absolute base element index (byte address
+    divided by the element width); ``offsets``/``strides`` are per-level
+    in element units, innermost first, and must match the nest's
+    dimensionality."""
+
+    name: str  # "a" | "b" | "c"
+    base: int
+    offsets: Tuple[int, ...]
+    strides: Tuple[int, ...]
+    mods: Tuple[Mod, ...] = ()
+
+
+@dataclass(frozen=True)
+class Indirect:
+    """Gather/scatter level: the named array's rows are addressed
+    through an int32 index vector at byte address ``idx_addr`` (one
+    index per iteration of level 1, SET_ADD semantics)."""
+
+    array: str  # which array is indirect: "a" (gather) | "c" (scatter)
+    idx_addr: int
+
+
+@dataclass(frozen=True)
+class Op:
+    """One step of the element-wise chain.  The running value starts as
+    ``a[i]``; each step combines it with ``rhs`` ("b", "imm", or None
+    for unary ops) under ``op``.  The :data:`FMA_OP` step uses both:
+    ``rhs="b"`` with ``imm`` as the coefficient."""
+
+    op: str
+    rhs: Optional[str] = None  # "b" | "imm" | None (unary)
+    imm: float = 0.0
+
+
+@dataclass(frozen=True)
+class Nest:
+    """A complete loop nest.  ``sizes`` is innermost-first and shared by
+    every access; ``size_mods`` mutate the shared sizes (triangular
+    iteration), per-array offset/stride modifiers live on the accesses."""
+
+    name: str
+    etype: ElementType
+    sizes: Tuple[int, ...]
+    inputs: Tuple[Access, ...]
+    output: Access
+    ops: Tuple[Op, ...] = ()
+    size_mods: Tuple[Mod, ...] = ()
+    reduce: Optional[str] = None
+    pred_cond: Optional[str] = None
+    use_mac: bool = False
+    #: element-granular stream consumption (UVE ``so.sc.*`` engine).
+    scalar_engine: bool = False
+    indirect: Optional[Indirect] = None
+    mem_level: MemLevel = MemLevel.L2
+    schedule: str = "auto"
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def ndims(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def is_float(self) -> bool:
+        return self.etype in (ElementType.F32, ElementType.F64)
+
+    @property
+    def arrays(self) -> Tuple[Access, ...]:
+        return self.inputs + (self.output,)
+
+    @property
+    def has_b(self) -> bool:
+        return any(acc.name == "b" for acc in self.inputs)
+
+    def array(self, name: str) -> Access:
+        for acc in self.arrays:
+            if acc.name == name:
+                return acc
+        raise KeyError(name)
+
+    def mods_for(self, acc: Access, level: int) -> Tuple[Mod, ...]:
+        """Modifiers affecting ``acc`` bound at ``level``: the shared
+        size modifiers plus the access's own offset/stride modifiers."""
+        shared = tuple(m for m in self.size_mods if m.level == level)
+        own = tuple(m for m in acc.mods if m.level == level)
+        return shared + own
+
+    def with_(self, **kwargs) -> "Nest":
+        return replace(self, **kwargs)
+
+
+def loop1d(
+    name: str,
+    ins,
+    out: int,
+    n: int,
+    *,
+    ops: Tuple[Op, ...] = (),
+    etype: ElementType = ElementType.F32,
+    reduce: Optional[str] = None,
+    use_mac: bool = False,
+    mem_level: MemLevel = MemLevel.L2,
+) -> Nest:
+    """A unit-stride 1-D nest over byte-addressed arrays — the ~5-line
+    way to declare a streaming kernel (memcpy/STREAM/saxpy/dot shapes).
+
+    ``ins`` is a list of input byte addresses (one becomes array "a",
+    two become "a" and "b"); ``out`` is the output byte address (array
+    "c" — a single accumulator cell when ``reduce`` is set).
+    """
+    width = etype.width
+    if len(ins) not in (1, 2):
+        raise ValueError(f"loop1d takes one or two inputs, got {len(ins)}")
+    for addr in tuple(ins) + (out,):
+        if addr % width:
+            raise ValueError(
+                f"address {addr:#x} is not {width}-byte aligned for {etype}"
+            )
+    roles = ("a", "b")
+    inputs = tuple(
+        Access(roles[i], addr // width, (0,), (1,))
+        for i, addr in enumerate(ins)
+    )
+    return Nest(
+        name=name,
+        etype=etype,
+        sizes=(n,),
+        inputs=inputs,
+        output=Access("c", out // width, (0,), (1,)),
+        ops=tuple(ops),
+        reduce=reduce,
+        use_mac=use_mac,
+        mem_level=mem_level,
+    )

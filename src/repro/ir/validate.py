@@ -1,0 +1,189 @@
+"""Structural validation of loop-nest IR.
+
+``validate_nest`` enforces the contract every :mod:`repro.lower`
+backend assumes — geometry within the ``streams.limits`` bounds,
+consistent per-access shapes, a well-formed op chain, and the feature
+combinations the backends define (mirroring the constraints the fuzz
+generator and shrinker always respected).  Backends may *additionally*
+reject nests they cannot express (e.g. the RVV backend only streamlines
+1-D nests); those raise :class:`~repro.errors.LoweringError` instead.
+"""
+from __future__ import annotations
+
+from repro.common.types import ElementType
+from repro.errors import IRError
+from repro.ir.nodes import (
+    Access,
+    COMPARE_OPS,
+    FLOAT_OPS,
+    FMA_OP,
+    INT_OPS,
+    MOD_BEHAVIORS,
+    Nest,
+    REDUCE_OPS,
+    SCHEDULES,
+    UNARY_OPS,
+)
+from repro.streams import limits
+
+
+def _fail(nest: Nest, message: str) -> None:
+    raise IRError(f"nest {nest.name!r}: {message}")
+
+
+def _check_mods(nest: Nest, acc_name: str, mods, targets) -> None:
+    for mod in mods:
+        if not 1 <= mod.level <= nest.ndims - 1:
+            _fail(
+                nest,
+                f"{acc_name} modifier bound at level {mod.level}, legal "
+                f"levels are 1..{nest.ndims - 1}",
+            )
+        if mod.target not in targets:
+            _fail(nest, f"{acc_name} modifier target {mod.target!r}")
+        if mod.behavior not in MOD_BEHAVIORS:
+            _fail(nest, f"{acc_name} modifier behavior {mod.behavior!r}")
+        if mod.count < 1:
+            _fail(nest, f"{acc_name} modifier count {mod.count} < 1")
+        if mod.displacement < 0:
+            _fail(
+                nest,
+                f"{acc_name} modifier displacement {mod.displacement} < 0 "
+                "(use behavior 'sub')",
+            )
+
+
+def _check_access(nest: Nest, acc: Access) -> None:
+    if acc.name == "c" and nest.reduce is not None:
+        # A reduction's output is a single cell: only the innermost
+        # offset is meaningful, so a 1-level shape is accepted.
+        if len(acc.offsets) < 1 or len(acc.strides) < 1:
+            _fail(nest, "reduction output needs an innermost offset/stride")
+    elif len(acc.offsets) != nest.ndims or len(acc.strides) != nest.ndims:
+        _fail(
+            nest,
+            f"access {acc.name!r} has {len(acc.offsets)} offsets / "
+            f"{len(acc.strides)} strides for a {nest.ndims}-dim nest",
+        )
+    _check_mods(nest, f"access {acc.name!r}", acc.mods, ("offset", "stride"))
+    per_stream = len(acc.mods) + len(nest.size_mods)
+    if nest.indirect is not None and nest.indirect.array == acc.name:
+        per_stream += 1
+    if per_stream > limits.MAX_MODIFIERS:
+        _fail(
+            nest,
+            f"access {acc.name!r} needs {per_stream} modifiers, the "
+            f"descriptor limit is {limits.MAX_MODIFIERS}",
+        )
+
+
+def _check_ops(nest: Nest) -> None:
+    binary = FLOAT_OPS if nest.is_float else INT_OPS
+    for step in nest.ops:
+        if step.op == FMA_OP:
+            if step.rhs != "b" or not nest.has_b:
+                _fail(nest, "fma step requires rhs='b' and a b input")
+            if not nest.is_float:
+                _fail(nest, "fma step requires a float element type")
+        elif step.rhs is None:
+            if step.op not in UNARY_OPS:
+                _fail(nest, f"unknown unary op {step.op!r}")
+            if not nest.is_float:
+                _fail(nest, "unary chain steps require a float etype")
+        else:
+            if step.rhs not in ("b", "imm"):
+                _fail(nest, f"unknown op rhs {step.rhs!r}")
+            if step.op not in binary:
+                _fail(
+                    nest,
+                    f"op {step.op!r} is not legal for {nest.etype.name}",
+                )
+            if step.rhs == "b" and not nest.has_b:
+                _fail(nest, f"op {step.op!r} references missing input 'b'")
+
+
+def validate_nest(nest: Nest) -> Nest:
+    """Raise :class:`~repro.errors.IRError` unless ``nest`` satisfies
+    the backend contract; returns the nest for call chaining."""
+    if not nest.name:
+        _fail(nest, "empty name")
+    if not isinstance(nest.etype, ElementType):
+        _fail(nest, f"etype must be an ElementType, got {nest.etype!r}")
+    if nest.schedule not in SCHEDULES:
+        _fail(nest, f"unknown schedule {nest.schedule!r}")
+    if not 1 <= nest.ndims <= limits.MAX_DIMENSIONS:
+        _fail(
+            nest,
+            f"{nest.ndims} dimensions, legal range is "
+            f"1..{limits.MAX_DIMENSIONS}",
+        )
+    for size in nest.sizes:
+        if not isinstance(size, int) or size < 1:
+            _fail(nest, f"size {size!r} must be a positive int")
+
+    names = [acc.name for acc in nest.inputs]
+    if names not in (["a"], ["a", "b"]):
+        _fail(nest, f"inputs must be ('a',) or ('a', 'b'), got {names}")
+    if nest.output.name != "c":
+        _fail(nest, f"output must be named 'c', got {nest.output.name!r}")
+    for acc in nest.arrays:
+        _check_access(nest, acc)
+    _check_mods(nest, "shared size", nest.size_mods, ("size",))
+    _check_ops(nest)
+
+    if nest.reduce is not None and nest.reduce not in REDUCE_OPS:
+        _fail(nest, f"unknown reduction {nest.reduce!r}")
+    if nest.pred_cond is not None:
+        if nest.pred_cond not in COMPARE_OPS:
+            _fail(nest, f"unknown predicate condition {nest.pred_cond!r}")
+        if not nest.has_b or nest.reduce != "add" or nest.ops:
+            _fail(
+                nest,
+                "predication requires a b input, an add reduction, and an "
+                "empty op chain",
+            )
+    if nest.use_mac:
+        if (
+            nest.reduce != "add"
+            or not nest.is_float
+            or not nest.has_b
+            or nest.ops
+            or nest.pred_cond is not None
+        ):
+            _fail(
+                nest,
+                "use_mac requires a float add-reduction of a*b with an "
+                "empty op chain and no predicate",
+            )
+    if nest.scalar_engine and (
+        nest.reduce is not None or nest.pred_cond is not None
+        or nest.indirect is not None
+    ):
+        _fail(
+            nest,
+            "scalar-engine nests cannot reduce, predicate, or gather",
+        )
+
+    ind = nest.indirect
+    if ind is not None:
+        if nest.ndims != 2:
+            _fail(nest, "indirect nests must be exactly 2-dimensional")
+        if ind.array not in ("a", "c"):
+            _fail(nest, f"indirect array {ind.array!r} (expected 'a' or 'c')")
+        if ind.array == "c" and nest.reduce is not None:
+            _fail(nest, "a reduction cannot scatter its output")
+        acc = nest.array(ind.array)
+        if acc.mods or any(acc.offsets):
+            _fail(
+                nest,
+                "the indirect access takes no modifiers and zero offsets",
+            )
+        if ind.idx_addr < 0 or ind.idx_addr % 4:
+            _fail(nest, f"index vector address {ind.idx_addr:#x} (int32)")
+    if nest.reduce is None and nest.output.strides[0] < 1:
+        _fail(
+            nest,
+            "the output's innermost stride must be >= 1 (store chunks "
+            "have no intra-chunk ordering)",
+        )
+    return nest

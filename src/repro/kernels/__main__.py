@@ -2,8 +2,10 @@
 
 Usage::
 
+    python -m repro.kernels --list
     python -m repro.kernels saxpy --isa uve
     python -m repro.kernels gemm --isa sve --scale 0.5 --listing
+    python -m repro.kernels stream --isa neon --lowering legacy
 """
 from __future__ import annotations
 
@@ -12,29 +14,69 @@ import sys
 import time
 
 from repro.cpu.config import baseline_machine, uve_machine
-from repro.kernels import get_kernel, kernel_names
+from repro.errors import ConfigError
+from repro.kernels import all_kernels, get_kernel, kernel_names
 from repro.sim.simulator import Simulator
+
+
+def list_kernels() -> str:
+    """The kernel table, with each kernel's lowering source (the shared
+    loop-nest IR vs. hand-written builders) and supported ISAs."""
+    rows = [("letter", "name", "domain", "pattern", "lowering", "isas")]
+    for kernel in all_kernels(include_extensions=True):
+        info = kernel.describe()
+        name = info["name"] + ("" if kernel.paper else " (ext)")
+        rows.append(
+            (
+                str(info["letter"]),
+                name,
+                str(info["domain"]),
+                str(info["pattern"]),
+                str(info["lowering"]),
+                ",".join(info["isas"]),
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    return "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        for row in rows
+    )
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.kernels")
-    parser.add_argument("kernel", choices=kernel_names())
+    parser.add_argument("kernel", nargs="?",
+                        choices=kernel_names(include_extensions=True))
     parser.add_argument("--isa", default="uve",
                         choices=("uve", "sve", "neon", "rvv"))
+    parser.add_argument("--lowering", default="ir", choices=("ir", "legacy"),
+                        help="program generation path: shared loop-nest IR "
+                             "(default) or legacy hand-written builders")
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--vector-bits", type=int, default=512)
     parser.add_argument("--listing", action="store_true",
                         help="print the assembled program")
+    parser.add_argument("--list", action="store_true",
+                        help="list all kernels (with lowering source) "
+                             "and exit")
     args = parser.parse_args(argv)
+
+    if args.list:
+        print(list_kernels())
+        return 0
+    if args.kernel is None:
+        parser.error("a kernel name is required (or use --list)")
 
     kernel = get_kernel(args.kernel)
     config = (uve_machine() if args.isa == "uve" else baseline_machine())
     config = config.with_(vector_bits=args.vector_bits)
     wl = kernel.workload(seed=args.seed, scale=args.scale)
     try:
-        program = kernel.build(args.isa, wl, args.vector_bits)
-    except NotImplementedError as exc:
+        program = kernel.build(
+            args.isa, wl, args.vector_bits, lowering=args.lowering
+        )
+    except (ConfigError, NotImplementedError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.listing:
@@ -47,7 +89,7 @@ def main(argv=None) -> int:
     wall = time.time() - start
 
     print(f"benchmark {kernel.letter}: {kernel.name} [{args.isa}] "
-          f"(params {wl.params})")
+          f"(params {wl.params}, lowering {args.lowering})")
     print(f"  verified against NumPy reference")
     print(f"  committed instructions : {result.committed}")
     print(f"  cycles                 : {result.cycles:.0f}")

@@ -25,6 +25,10 @@ ISAS = ("uve", "sve", "neon")
 #: extension experiment on the 1-D benchmark family).
 ALL_ISAS = ISAS + ("rvv",)
 
+#: program-generation paths: the shared loop-nest IR (:mod:`repro.lower`)
+#: or the hand-written per-ISA builders.
+LOWERINGS = ("ir", "legacy")
+
 
 @dataclass
 class Workload:
@@ -78,12 +82,38 @@ class Kernel(ABC):
     pattern: str = "1D"
     #: False for the benchmarks the ARM SVE compiler failed to vectorize.
     sve_vectorized: bool = True
+    #: False for extension kernels outside the paper's A..S evaluation set
+    #: (they are registry-addressable but excluded from the figures).
+    paper: bool = True
     #: memory size to allocate for workloads.
     memory_bytes: int = 1 << 23
 
     @abstractmethod
     def workload(self, seed: int = 0, scale: float = 1.0) -> Workload:
         """Generate a problem instance (arrays placed, reference computed)."""
+
+    # -- IR lowering ---------------------------------------------------------
+
+    def ir_nests(self, wl: Workload):
+        """The kernel as loop-nest IR: a tuple of :class:`repro.ir.Nest`
+        placed over ``wl``'s arrays, or ``None`` when the kernel has not
+        been migrated (hand builders only)."""
+        return None
+
+    def lowering_source(self) -> str:
+        """``"ir"`` when the kernel lowers through the shared loop-nest
+        IR, ``"hand"`` when only the hand-written builders exist."""
+        return "ir" if type(self).ir_nests is not Kernel.ir_nests else "hand"
+
+    def supported_isas(self) -> Tuple[str, ...]:
+        """The ISAs this kernel can be built for.  RVV support requires
+        either a hand ``build_rvv`` override or an IR migration (the RVV
+        backend lowers the streamlined 1-D family)."""
+        has_rvv = (
+            type(self).build_rvv is not Kernel.build_rvv
+            or type(self).ir_nests is not Kernel.ir_nests
+        )
+        return ALL_ISAS if has_rvv else ISAS
 
     @abstractmethod
     def build_uve(self, wl: Workload, lanes: int) -> Program:
@@ -107,7 +137,44 @@ class Kernel(ABC):
 
     # -- Dispatch ------------------------------------------------------------
 
-    def build(self, isa: str, wl: Workload, vector_bits: int = 512) -> Program:
+    def build(
+        self,
+        isa: str,
+        wl: Workload,
+        vector_bits: int = 512,
+        lowering: str = "ir",
+    ) -> Program:
+        if isa not in ALL_ISAS:
+            raise ConfigError(
+                f"unknown ISA {isa!r} (expected one of {ALL_ISAS})"
+            )
+        if lowering not in LOWERINGS:
+            raise ConfigError(
+                f"unknown lowering {lowering!r} (expected one of {LOWERINGS})"
+            )
+        if isa == "rvv" and "rvv" not in self.supported_isas():
+            raise ConfigError(
+                f"kernel {self.name!r} does not implement ISA 'rvv' "
+                f"(supported: {', '.join(self.supported_isas())})"
+            )
+        if lowering == "ir":
+            nests = self.ir_nests(wl)
+            if nests is not None:
+                from repro.errors import LoweringError
+                from repro.lower import lower_nests
+
+                # SVE-unvectorized kernels run scalar baseline code; none
+                # are IR-migrated yet, but keep the paper semantics if one
+                # ever is.
+                if isa in ("sve", "neon") and not self.sve_vectorized:
+                    return self.build_scalar(wl)
+                try:
+                    return lower_nests(nests, isa, f"{self.name}-{isa}")
+                except LoweringError as exc:
+                    raise ConfigError(
+                        f"kernel {self.name!r} cannot be lowered to "
+                        f"{isa!r} through the IR: {exc}"
+                    ) from exc
         if isa == "uve":
             return self.build_uve(wl, lanes=vector_bits // 32)
         if isa in ("sve", "neon"):
@@ -116,9 +183,7 @@ class Kernel(ABC):
                 # the baseline core runs scalar code.
                 return self.build_scalar(wl)
             return self.build_vector(wl, isa)
-        if isa == "rvv":
-            return self.build_rvv(wl)
-        raise ConfigError(f"unknown ISA {isa!r} (expected one of {ALL_ISAS})")
+        return self.build_rvv(wl)
 
     def fresh_memory(self) -> Memory:
         return Memory(self.memory_bytes)
@@ -133,6 +198,8 @@ class Kernel(ABC):
             "kernels": self.n_kernels,
             "pattern": self.pattern,
             "sve_vectorized": self.sve_vectorized,
+            "lowering": self.lowering_source(),
+            "isas": list(self.supported_isas()),
         }
 
 

@@ -5,6 +5,12 @@ stream per array and runs a branch-terminated loop with no loads, stores,
 or index arithmetic (Fig. 1.D); the SVE-like baseline runs the
 ``whilelt``-predicated loop of Fig. 1.B; the NEON-like baseline runs a
 fixed-width loop plus a scalar tail.
+
+The 1-D kernels now lower through the shared loop-nest IR
+(``repro.ir`` -> ``repro.lower``) by default; these builders are kept
+as the *legacy* path and serve as the reference programs for the
+IR-vs-legacy equivalence gate (``repro.kernels.equivalence`` and
+``tests/kernels/test_ir_equivalence.py``).
 """
 from __future__ import annotations
 

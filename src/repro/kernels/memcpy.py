@@ -3,6 +3,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ir import loop1d
 from repro.isa import scalar_ops as sc
 from repro.isa import uve_ops as uve
 from repro.isa.program import Program
@@ -33,6 +34,15 @@ class MemcpyKernel(Kernel):
         wl.place("dst", dst)
         wl.expected["dst"] = src.copy()
         return wl
+
+    def ir_nests(self, wl: Workload):
+        return (
+            loop1d(
+                "memcpy", [wl.addr("src")], wl.addr("dst"), wl.params["n"]
+            ),
+        )
+
+    # -- Legacy hand builders (kept as the equivalence-gate reference) -------
 
     def build_uve(self, wl: Workload, lanes: int) -> Program:
         def body(b, ins, out):

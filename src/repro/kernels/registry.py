@@ -1,10 +1,19 @@
-"""Registry of all evaluation kernels (paper Fig. 8, benchmarks A–S)."""
+"""Registry of all evaluation kernels (paper Fig. 8, benchmarks A–S).
+
+Kernels with ``paper=False`` are *extensions*: addressable through
+``get_kernel`` and the CLIs but excluded from ``all_kernels()`` by
+default so the paper's figures and golden tables keep their A..S set.
+The registry also exposes per-kernel ISA support
+(:func:`unsupported_isas`), so a missing implementation surfaces as a
+:class:`~repro.errors.ConfigError` listing what *is* available instead
+of a raw ``NotImplementedError`` deep in a builder.
+"""
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.errors import ConfigError
-from repro.kernels.base import Kernel
+from repro.kernels.base import ALL_ISAS, Kernel
 
 _REGISTRY: Dict[str, Kernel] = {}
 
@@ -38,13 +47,25 @@ def get_kernel(name: str) -> Kernel:
         raise ConfigError(message) from None
 
 
-def all_kernels() -> List[Kernel]:
-    """All kernels in the paper's A..S order."""
-    return sorted(_REGISTRY.values(), key=lambda k: k.letter)
+def all_kernels(include_extensions: bool = False) -> List[Kernel]:
+    """All kernels in the paper's A..S order.  Extension kernels
+    (``paper=False``) are appended only when requested."""
+    kernels = sorted(_REGISTRY.values(), key=lambda k: k.letter)
+    if include_extensions:
+        return kernels
+    return [k for k in kernels if k.paper]
 
 
-def kernel_names() -> List[str]:
-    return [k.name for k in all_kernels()]
+def kernel_names(include_extensions: bool = False) -> List[str]:
+    return [k.name for k in all_kernels(include_extensions)]
+
+
+def unsupported_isas(name: str) -> Tuple[str, ...]:
+    """The ISAs ``name`` cannot be built for (registry-visible marker;
+    ``Kernel.build`` raises ConfigError for these)."""
+    kernel = get_kernel(name)
+    supported = kernel.supported_isas()
+    return tuple(isa for isa in ALL_ISAS if isa not in supported)
 
 
 def _register_optional(optional) -> None:
@@ -73,6 +94,7 @@ def _populate() -> None:
     # to allow partial builds during development.
     _register_optional(
         [
+            ("repro.kernels.dot", "DotKernel"),
             ("repro.kernels.gemm", "GemmKernel"),
             ("repro.kernels.threemm", "ThreeMmKernel"),
             ("repro.kernels.mvt", "MvtKernel"),

@@ -4,6 +4,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.types import ElementType
+from repro.ir import FMA_OP, Op, loop1d
 from repro.isa import f, u
 from repro.isa import scalar_ops as sc
 from repro.isa import sve_ops as sve
@@ -38,6 +39,21 @@ class SaxpyKernel(Kernel):
         wl.place("y", ys)
         wl.expected["y"] = np.float32(A) * xs + ys
         return wl
+
+    def ir_nests(self, wl: Workload):
+        # y = A*x + y: one fused step; the backends' streamlined shapes
+        # reproduce the legacy builders instruction for instruction.
+        return (
+            loop1d(
+                "saxpy",
+                [wl.addr("x"), wl.addr("y")],
+                wl.addr("y"),
+                wl.params["n"],
+                ops=(Op(FMA_OP, "b", A),),
+            ),
+        )
+
+    # -- Legacy hand builders (kept as the equivalence-gate reference) -------
 
     def build_uve(self, wl: Workload, lanes: int) -> Program:
         def setup(b):

@@ -1,0 +1,97 @@
+"""Per-ISA lowering backends for the loop-nest IR.
+
+``lower(nest, isa)`` validates a :class:`repro.ir.Nest` and emits one
+ISA's complete program; ``lower_nests`` strings several nests into one
+program (the STREAM-style multi-kernel shape).  Backends share the
+scaffolding in :mod:`repro.lower.common`; each exposes
+``emit(builder, nest, prefix="", inject=None)`` and must not emit the
+trailing ``Halt`` (the drivers here do).
+
+The NumPy reference expander (:mod:`repro.fuzz.reference`) deliberately
+does NOT use this package: the differential fuzz oracle requires the
+reference and the lowerings to interpret specs with separately-written
+code.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import LoweringError
+from repro.ir import Nest, validate_nest
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.scalar_ops import Halt
+from repro.lower import neon, rvv, scalar, sve, uve
+
+#: the ISAs every fuzz case is lowered to, in oracle order.
+ISAS = ("uve", "scalar", "sve", "neon")
+
+#: every backend, including the ones outside the fuzz oracle set.
+BACKENDS = {
+    "uve": uve,
+    "scalar": scalar,
+    "sve": sve,
+    "neon": neon,
+    "rvv": rvv,
+}
+
+#: deliberate UVE-lowering distortions used to validate the fuzz oracle.
+INJECTIONS = {
+    "uve-mod-extra-count": (
+        "static modifiers are configured with count+1, firing once more "
+        "than the spec (and the reference) intends"
+    ),
+    "uve-dim0-size-off-by-one": (
+        "stream a's innermost dimension is configured one element short"
+    ),
+    "uve-ind-set-value": (
+        "the indirect modifier uses SET_VALUE instead of SET_ADD, "
+        "dropping the configured base offset from gathered addresses"
+    ),
+}
+
+
+def _backend(isa: str):
+    try:
+        return BACKENDS[isa]
+    except KeyError:
+        raise ValueError(f"unknown isa {isa!r}") from None
+
+
+def lower(nest: Nest, isa: str, inject: Optional[str] = None) -> Program:
+    """Lower one validated nest to a complete (halted) program."""
+    if inject is not None and inject not in INJECTIONS:
+        raise ValueError(f"unknown injection {inject!r}")
+    if inject is not None and isa != "uve":
+        raise ValueError(f"injections distort the uve lowering only, not {isa!r}")
+    validate_nest(nest)
+    b = ProgramBuilder(f"{nest.name}-{isa}")
+    _backend(isa).emit(b, nest, prefix="", inject=inject)
+    b.emit(Halt())
+    return b.build()
+
+
+def lower_nests(nests: Iterable[Nest], isa: str, name: str) -> Program:
+    """Lower several nests back-to-back into one program (STREAM's
+    four sub-kernels, say).  Labels are namespaced per nest."""
+    nests = tuple(nests)
+    if not nests:
+        raise ValueError("lower_nests needs at least one nest")
+    for nest in nests:
+        validate_nest(nest)
+    backend = _backend(isa)
+    b = ProgramBuilder(name)
+    single = len(nests) == 1
+    for nest in nests:
+        backend.emit(b, nest, prefix="" if single else f"{nest.name}_")
+    b.emit(Halt())
+    return b.build()
+
+
+__all__ = [
+    "BACKENDS",
+    "INJECTIONS",
+    "ISAS",
+    "LoweringError",
+    "lower",
+    "lower_nests",
+]

@@ -1,0 +1,278 @@
+"""Shared lowering scaffolding: register conventions, the explicit
+loop-nest emitter, and the accumulator/op-chain helpers.
+
+The scalar/SVE/NEON backends share :class:`NestEmitter` for outer
+loops, static-modifier application, and row-address computation; the
+UVE backend encodes the same semantics in stream descriptors, which is
+exactly the redundancy the differential fuzz oracle exploits.
+
+This code is the former ``repro.fuzz.lowering`` scaffolding, lifted to
+operate on :class:`repro.ir.Nest` so hand-written kernels and fuzz
+cases lower through one implementation.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.common.types import ElementType
+from repro.ir.nodes import Access, FMA_OP, Mod, Nest
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import Reg, f, x
+from repro.isa.scalar_ops import (
+    BranchCmp,
+    FLi,
+    FOp,
+    FUnary,
+    IntOp,
+    Jump,
+    Li,
+    Load,
+    Store,
+)
+
+_INV_COND = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "gt": "le", "le": "gt"}
+
+# Scalar register conventions shared by the scalar/SVE/NEON backends.
+ACC_F, PART_F = f(1), f(2)
+A_F, B_F, RUN_F = f(8), f(9), f(10)
+ACC_X, SIZE_X, IDX_X, J_X = x(1), x(2), x(3), x(4)
+T5, PART_X, T7 = x(5), x(6), x(7)
+ROW = {"a": x(8), "b": x(9), "c": x(10)}
+A_X, B_X, RUN_X = x(11), x(12), x(13)
+#: registers available for dynamic (modifier-written) working parameters.
+DYN_POOL = (14, 15, 16, 17, 18, 19, 28, 29, 30)
+
+Operand = Union[Reg, int]
+
+
+def imm_value(nest: Nest, imm: float) -> Union[int, float]:
+    return float(imm) if nest.is_float else int(imm)
+
+
+def streamlined(nest: Nest) -> bool:
+    """True when a backend may use its streamlined 1-D code shape (the
+    hand-written kernel idiom) instead of the general nest scaffolding:
+    a unit-stride, modifier-free, direct 1-D nest with at most one
+    fused-multiply-add step."""
+    if nest.schedule != "auto":
+        return False
+    if nest.ndims != 1 or nest.indirect is not None:
+        return False
+    if nest.size_mods or any(acc.mods for acc in nest.arrays):
+        return False
+    if nest.pred_cond is not None or nest.scalar_engine:
+        return False
+    if any(acc.strides != (1,) for acc in nest.arrays):
+        return False
+    if sum(1 for step in nest.ops if step.op == FMA_OP) > 1:
+        return False
+    return True
+
+
+def flat_base(acc: Access) -> int:
+    """Element-granular flat base of a 1-D access (base + offset)."""
+    return acc.base + acc.offsets[0]
+
+
+class NestEmitter:
+    """Explicit loop nest with working parameters in registers.
+
+    Mirrors the Streaming Engine's traversal semantics: entering level
+    ``k`` resets the level-``k-1`` working parameters to their
+    configured values and rearms the modifiers bound at ``k``; bound
+    modifiers fire before each of the first ``count`` iterations; at
+    every level-0 entry the per-array row byte addresses are recomputed
+    from the current working parameters.
+
+    ``prefix`` namespaces the emitted labels, so several nests can share
+    one :class:`~repro.isa.program.ProgramBuilder`.
+    """
+
+    def __init__(
+        self, nest: Nest, b: ProgramBuilder, prefix: str = ""
+    ) -> None:
+        self.nest = nest
+        self.b = b
+        self.prefix = prefix
+        self.etype = nest.etype
+        self.width = self.etype.width
+        self._label_seq = 0
+        # Dynamic working parameters: (target, owner, target_level) -> reg.
+        # Sizes are shared across arrays (owner "*"), offsets/strides are
+        # per-array.  Each modifier instance gets its own firing counter.
+        self.dyn: Dict[Tuple[str, str, int], Reg] = {}
+        self.counters: List[Tuple[Mod, str, Reg]] = []
+        pool = iter(DYN_POOL)
+
+        def take() -> Reg:
+            try:
+                return x(next(pool))
+            except StopIteration:
+                raise ValueError(
+                    "case has too many dynamic parameters/modifiers for "
+                    "the scalar lowering's register pool"
+                ) from None
+
+        for mod in nest.size_mods:
+            key = ("size", "*", mod.level - 1)
+            if key not in self.dyn:
+                self.dyn[key] = take()
+            self.counters.append((mod, "*", take()))
+        for acc in nest.arrays:
+            for mod in acc.mods:
+                key = (mod.target, acc.name, mod.level - 1)
+                if key not in self.dyn:
+                    self.dyn[key] = take()
+                self.counters.append((mod, acc.name, take()))
+
+    # -- helpers ------------------------------------------------------------
+
+    def label(self, stem: str) -> str:
+        self._label_seq += 1
+        return f"{self.prefix}{stem}_{self._label_seq}"
+
+    def row_arrays(self) -> Tuple[Access, ...]:
+        """Arrays addressed per-row: inputs always; the output too,
+        unless the nest reduces into a single cell after the loops."""
+        if self.nest.reduce is not None:
+            return self.nest.inputs
+        return self.nest.arrays
+
+    def size_operand(self, level: int) -> Operand:
+        return self.dyn.get(("size", "*", level), self.nest.sizes[level])
+
+    def stride_operand(self, acc: Access, level: int) -> Operand:
+        return self.dyn.get(("stride", acc.name, level), acc.strides[level])
+
+    def _configured(self, target: str, owner: str, level: int) -> int:
+        if target == "size":
+            return self.nest.sizes[level]
+        acc = self.nest.array(owner)
+        return acc.offsets[level] if target == "offset" else acc.strides[level]
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, inner: Callable[["NestEmitter"], None]) -> None:
+        self._emit_level(self.nest.ndims - 1, inner)
+
+    def _emit_level(
+        self, k: int, inner: Callable[["NestEmitter"], None]
+    ) -> None:
+        b, nest = self.b, self.nest
+        if k == 0:
+            self._emit_rows()
+            inner(self)
+            return
+        # Entering level k: reset the level below, rearm bound modifiers.
+        for (target, owner, lvl), reg in self.dyn.items():
+            if lvl == k - 1:
+                b.emit(Li(reg, self._configured(target, owner, lvl)))
+        for mod, _owner, creg in self.counters:
+            if mod.level == k:
+                b.emit(Li(creg, 0))
+        i_reg = x(20 + k)
+        b.emit(Li(i_reg, 0))
+        top, end = self.label(f"l{k}_top"), self.label(f"l{k}_end")
+        b.label(top)
+        b.emit(BranchCmp("ge", i_reg, self.size_operand(k), end))
+        for mod, owner, creg in self.counters:
+            if mod.level == k:
+                self._emit_mod(mod, owner, creg)
+        if nest.indirect is not None and k == 1:
+            # idx[i1] -> IDX_X (int32 vector laid out by the placer).
+            b.emit(IntOp("mul", T5, i_reg, 4))
+            b.emit(IntOp("add", T5, T5, nest.indirect.idx_addr))
+            b.emit(Load(IDX_X, T5, 0, ElementType.I32))
+        self._emit_level(k - 1, inner)
+        b.emit(IntOp("add", i_reg, i_reg, 1))
+        b.emit(Jump(top))
+        b.label(end)
+
+    def _emit_mod(self, mod: Mod, owner: str, creg: Reg) -> None:
+        b = self.b
+        skip = self.label("mod_skip")
+        b.emit(BranchCmp("ge", creg, mod.count, skip))
+        key = (mod.target, owner, mod.level - 1)
+        reg = self.dyn[key]
+        b.emit(IntOp(mod.behavior, reg, reg, mod.displacement))
+        b.emit(IntOp("add", creg, creg, 1))
+        b.label(skip)
+
+    def _emit_rows(self) -> None:
+        """Row byte address of every active array from the current
+        working parameters: ``base + sum_k(off_k + i_k * stride_k)``."""
+        nest, b = self.nest, self.b
+        for acc in self.row_arrays():
+            row = ROW[acc.name]
+            const = acc.base
+            dyn_offsets = []
+            for lvl in range(nest.ndims):
+                key = ("offset", acc.name, lvl)
+                if key in self.dyn:
+                    dyn_offsets.append(self.dyn[key])
+                else:
+                    const += acc.offsets[lvl]
+            b.emit(Li(row, const))
+            for reg in dyn_offsets:
+                b.emit(IntOp("add", row, row, reg))
+            for lvl in range(1, nest.ndims):
+                b.emit(IntOp("mul", T5, x(20 + lvl), self.stride_operand(acc, lvl)))
+                b.emit(IntOp("add", row, row, T5))
+            if nest.indirect is not None and nest.indirect.array == acc.name:
+                b.emit(IntOp("add", row, row, IDX_X))
+            b.emit(IntOp("mul", row, row, self.width))
+
+
+def emit_acc_init(b: ProgramBuilder, nest: Nest) -> None:
+    if nest.reduce is None:
+        return
+    if nest.reduce == "min":
+        value: Union[int, float] = float("inf") if nest.is_float else 1 << 62
+    elif nest.reduce == "max":
+        value = float("-inf") if nest.is_float else -(1 << 62)
+    else:
+        value = 0
+    if nest.is_float:
+        b.emit(FLi(ACC_F, float(value)))
+    else:
+        b.emit(Li(ACC_X, int(value)))
+
+
+def emit_acc_store(b: ProgramBuilder, nest: Nest) -> None:
+    etype = nest.etype
+    addr = flat_base(nest.output) * etype.width
+    b.emit(Li(T7, addr))
+    b.emit(Store(ACC_F if nest.is_float else ACC_X, T7, 0, etype))
+
+
+def emit_acc_step(b: ProgramBuilder, nest: Nest, part: Reg) -> None:
+    if nest.is_float:
+        b.emit(FOp(nest.reduce, ACC_F, ACC_F, part))
+    else:
+        b.emit(IntOp(nest.reduce, ACC_X, ACC_X, part))
+
+
+def emit_scalar_chain(
+    b: ProgramBuilder, nest: Nest, a_reg: Reg, b_reg: Reg, run_reg: Reg
+) -> Reg:
+    """The op chain on scalar registers; returns the result register.
+    The fma step decomposes into mul-imm + add-b here (no scalar fused
+    op over a general immediate)."""
+    is_f = nest.is_float
+    run = a_reg
+    for step in nest.ops:
+        if step.op == FMA_OP:
+            b.emit(FOp("mul", run_reg, run, imm_value(nest, step.imm)))
+            b.emit(FOp("add", run_reg, run_reg, b_reg))
+        elif step.rhs is None:
+            if not is_f:
+                raise ValueError("unary chain steps require a float etype")
+            b.emit(FUnary(step.op, run_reg, run))
+        else:
+            rhs = b_reg if step.rhs == "b" else imm_value(nest, step.imm)
+            if is_f:
+                b.emit(FOp(step.op, run_reg, run, rhs))
+            else:
+                b.emit(IntOp(step.op, run_reg, run, rhs))
+        run = run_reg
+    return run

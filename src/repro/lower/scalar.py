@@ -1,0 +1,86 @@
+"""Scalar (RISC-V base ISA) backend: explicit loop nest, working
+parameters in registers, one element per iteration."""
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.nodes import Nest
+from repro.isa.program import ProgramBuilder
+from repro.isa.scalar_ops import BranchCmp, FMac, IntOp, Jump, Li, Load, Store
+from repro.isa.registers import Reg
+from repro.lower.common import (
+    ACC_F,
+    A_F,
+    A_X,
+    B_F,
+    B_X,
+    J_X,
+    NestEmitter,
+    ROW,
+    RUN_F,
+    RUN_X,
+    T5,
+    _INV_COND,
+    emit_acc_init,
+    emit_acc_step,
+    emit_acc_store,
+    emit_scalar_chain,
+)
+
+
+def scalar_body(emitter: NestEmitter) -> None:
+    """One element per iteration of an explicit dim-0 loop.  Shared with
+    the NEON backend's non-vectorisable fallback."""
+    b, nest = emitter.b, emitter.nest
+    etype, width, is_f = emitter.etype, emitter.width, nest.is_float
+    has_b = nest.has_b
+    a_reg = A_F if is_f else A_X
+    b_reg = B_F if is_f else B_X
+    run_reg = RUN_F if is_f else RUN_X
+    size_op = emitter.size_operand(0)
+    top, end = emitter.label("s_top"), emitter.label("s_end")
+    b.emit(Li(J_X, 0))
+    b.label(top)
+    b.emit(BranchCmp("ge", J_X, size_op, end))
+    b.emit(Load(a_reg, ROW["a"], 0, etype))
+    if has_b:
+        b.emit(Load(b_reg, ROW["b"], 0, etype))
+    if nest.pred_cond is not None:
+        skip = emitter.label("p_skip")
+        b.emit(BranchCmp(_INV_COND[nest.pred_cond], a_reg, b_reg, skip))
+        emit_acc_step(b, nest, a_reg)
+        b.label(skip)
+    elif nest.reduce is not None:
+        if nest.use_mac:
+            b.emit(FMac(ACC_F, a_reg, b_reg))
+        else:
+            res = emit_scalar_chain(b, nest, a_reg, b_reg, run_reg)
+            emit_acc_step(b, nest, res)
+    else:
+        res = emit_scalar_chain(b, nest, a_reg, b_reg, run_reg)
+        b.emit(Store(res, ROW["c"], 0, etype))
+    for acc in emitter.row_arrays():
+        s_op = emitter.stride_operand(acc, 0)
+        row = ROW[acc.name]
+        if isinstance(s_op, Reg):
+            b.emit(IntOp("mul", T5, s_op, width))
+            b.emit(IntOp("add", row, row, T5))
+        else:
+            b.emit(IntOp("add", row, row, s_op * width))
+    b.emit(IntOp("add", J_X, J_X, 1))
+    b.emit(Jump(top))
+    b.label(end)
+
+
+def emit(
+    b: ProgramBuilder,
+    nest: Nest,
+    prefix: str = "",
+    inject: Optional[str] = None,
+) -> None:
+    """Append the scalar lowering of ``nest`` to ``b`` (no Halt)."""
+    emitter = NestEmitter(nest, b, prefix)
+    emit_acc_init(b, nest)
+    emitter.emit(scalar_body)
+    if nest.reduce is not None:
+        emit_acc_store(b, nest)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.cpu.config import MachineConfig
 from repro.cpu.pipeline import Pipeline
 from repro.cpu.stats import PipelineStats
+from repro.errors import ExecutionError
 from repro.isa.program import Program
 from repro.memory.backing import Memory
 from repro.memory.hierarchy import MemoryHierarchy
@@ -82,6 +83,63 @@ class SimulationResult:
         return out
 
 
+def _check_replay(
+    program: str, first: TraceSummary, second: TraceSummary
+) -> None:
+    """Compare the two passes' full trace summaries.
+
+    The timing pipeline's trace (pass 2) must be the same dynamic
+    instruction sequence the Streaming Engine metadata was collected
+    from (pass 1); any divergence means data-dependent control flow saw
+    different memory — the snapshot/restore contract was violated — and
+    every timing number would be quietly wrong.  The diff names each
+    mismatching facet so the failure is debuggable.
+    """
+    problems = []
+    if second.committed != first.committed:
+        problems.append(
+            f"committed {second.committed} vs {first.committed}"
+        )
+    if second.by_class != first.by_class:
+        keys = sorted(
+            set(first.by_class) | set(second.by_class), key=lambda c: c.name
+        )
+        diffs = [
+            f"{cls.name}: {second.by_class.get(cls, 0)} vs "
+            f"{first.by_class.get(cls, 0)}"
+            for cls in keys
+            if second.by_class.get(cls, 0) != first.by_class.get(cls, 0)
+        ]
+        problems.append(f"per-class counts differ ({'; '.join(diffs)})")
+    if second.branches != first.branches:
+        problems.append(f"branches {second.branches} vs {first.branches}")
+    if second.taken_branches != first.taken_branches:
+        problems.append(
+            f"taken branches {second.taken_branches} vs "
+            f"{first.taken_branches}"
+        )
+    if len(second.streams) != len(first.streams):
+        problems.append(
+            f"stream configurations {len(second.streams)} vs "
+            f"{len(first.streams)}"
+        )
+    else:
+        for uid, info in first.streams.items():
+            other = second.streams.get(uid)
+            if other is None:
+                problems.append(f"stream uid {uid} missing in pass 2")
+            elif len(other.chunks) != len(info.chunks):
+                problems.append(
+                    f"stream uid {uid} (reg u{info.reg}): "
+                    f"{len(other.chunks)} vs {len(info.chunks)} chunks"
+                )
+    if problems:
+        raise ExecutionError(
+            f"non-deterministic replay of {program!r}: the timing pass "
+            "diverged from the metadata pass — " + "; ".join(problems)
+        )
+
+
 class Simulator:
     """Runs a program functionally and through the timing model."""
 
@@ -132,11 +190,7 @@ class Simulator:
         stream_infos: Dict = dict(summary.streams)
         pipeline = Pipeline(self.config, hierarchy, stream_infos)
         timing = pipeline.run(second.trace())
-        if second.summary.committed != summary.committed:
-            raise AssertionError(
-                "non-deterministic replay: pass 2 committed "
-                f"{second.summary.committed} vs pass 1 {summary.committed}"
-            )
+        _check_replay(self.program.name, summary, second.summary)
         return SimulationResult(
             program=self.program.name,
             summary=summary,

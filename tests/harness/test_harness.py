@@ -57,6 +57,21 @@ class TestRunner:
         record = runner.run("saxpy", "uve")
         assert record.fifo_occupancy > 0
 
+    def test_lowering_selects_program_path(self):
+        """Both lowerings run and are cached under distinct keys; for a
+        migrated kernel the programs are instruction-identical, so the
+        results agree."""
+        ir = Runner(scale=0.1, lowering="ir").run("saxpy", "uve")
+        legacy = Runner(scale=0.1, lowering="legacy").run("saxpy", "uve")
+        assert ir is not legacy
+        assert ir.committed == legacy.committed
+        assert ir.cycles == legacy.cycles
+
+    def test_rejects_unknown_lowering(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="lowering"):
+            Runner(scale=0.1, lowering="asm")
+
 
 class TestRegistry:
     def test_all_figures_registered(self):

@@ -2,11 +2,14 @@
 import pytest
 
 from repro.cpu.config import baseline_machine
-from repro.kernels import get_kernel
+from repro.errors import ConfigError
+from repro.kernels import get_kernel, unsupported_isas
 from repro.sim.functional import FunctionalSimulator
 from repro.sim.simulator import Simulator
 
-RVV_KERNELS = ("memcpy", "stream", "saxpy", "jacobi-1d", "jacobi-2d", "knn")
+RVV_KERNELS = (
+    "memcpy", "stream", "saxpy", "dot", "jacobi-1d", "jacobi-2d", "knn"
+)
 
 
 @pytest.mark.parametrize("name", RVV_KERNELS)
@@ -46,8 +49,13 @@ def test_rvv_runs_through_timing_model():
 
 
 def test_rvv_unsupported_kernel_raises():
-    with pytest.raises(NotImplementedError):
-        kernel = get_kernel("gemm")
+    """Missing per-ISA builders surface as a ConfigError naming the
+    supported set (and as a registry-visible marker), not as a raw
+    NotImplementedError from deep inside the builder."""
+    kernel = get_kernel("gemm")
+    assert "rvv" not in kernel.supported_isas()
+    assert unsupported_isas("gemm") == ("rvv",)
+    with pytest.raises(ConfigError, match="supported"):
         kernel.build("rvv", kernel.workload(scale=0.2))
 
 

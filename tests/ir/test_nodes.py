@@ -1,0 +1,69 @@
+"""The loop-nest IR's node layer: construction, derived properties,
+and the loop1d convenience constructor."""
+import pytest
+
+from repro.common.types import ElementType
+from repro.ir import FMA_OP, Access, Mod, Nest, Op, loop1d
+from repro.streams.pattern import MemLevel
+
+
+def nest_2d():
+    return Nest(
+        name="t",
+        etype=ElementType.F32,
+        sizes=(8, 4),
+        inputs=(Access("a", 0, (0, 0), (1, 8)),),
+        output=Access("c", 64, (0, 0), (1, 8)),
+        ops=(),
+    )
+
+
+class TestNest:
+    def test_derived_properties(self):
+        nest = nest_2d()
+        assert nest.ndims == 2
+        assert nest.is_float
+        assert not nest.has_b
+        assert [a.name for a in nest.arrays] == ["a", "c"]
+        assert nest.array("c").base == 64
+
+    def test_with_replaces_fields(self):
+        nest = nest_2d().with_(name="u", schedule="nested")
+        assert nest.name == "u"
+        assert nest.schedule == "nested"
+
+    def test_mods_for_merges_shared_and_own(self):
+        shared = Mod(1, "size", "sub", 1, 3)
+        own = Mod(1, "offset", "add", 2, 2)
+        nest = nest_2d()
+        nest = nest.with_(
+            size_mods=(shared,),
+            inputs=(
+                Access("a", 0, (0, 0), (1, 8), mods=(own,)),
+            ),
+        )
+        assert nest.mods_for(nest.array("a"), 1) == (shared, own)
+        assert nest.mods_for(nest.array("c"), 1) == (shared,)
+
+
+class TestLoop1d:
+    def test_byte_addresses_become_element_bases(self):
+        nest = loop1d("k", [256, 512], 1024, 100)
+        assert [a.base for a in nest.inputs] == [64, 128]
+        assert nest.output.base == 256
+        assert nest.sizes == (100,)
+        assert [a.name for a in nest.arrays] == ["a", "b", "c"]
+        assert nest.mem_level is MemLevel.L2
+
+    def test_rejects_misaligned_address(self):
+        with pytest.raises(ValueError, match="aligned"):
+            loop1d("k", [6], 0, 10)
+
+    def test_rejects_arity(self):
+        with pytest.raises(ValueError, match="one or two"):
+            loop1d("k", [0, 4, 8], 12, 10)
+
+    def test_fma_op_vocabulary(self):
+        nest = loop1d("k", [0, 4], 4, 8, ops=(Op(FMA_OP, "b", 2.5),))
+        assert nest.ops[0].op == "fma"
+        assert nest.ops[0].imm == 2.5

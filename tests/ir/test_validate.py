@@ -1,0 +1,81 @@
+"""validate_nest: the structural contract every backend assumes."""
+import pytest
+
+from repro.common.types import ElementType
+from repro.errors import IRError
+from repro.ir import Access, Indirect, Mod, Nest, Op, loop1d, validate_nest
+
+
+def valid_1d(**kwargs):
+    nest = loop1d("ok", [0, 64], 128, 16)
+    return nest.with_(**kwargs) if kwargs else nest
+
+
+class TestValidate:
+    def test_accepts_valid_nest(self):
+        assert validate_nest(valid_1d()) is not None
+
+    def test_rejects_bad_schedule(self):
+        with pytest.raises(IRError, match="schedule"):
+            validate_nest(valid_1d(schedule="loopy"))
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(IRError, match="positive"):
+            validate_nest(valid_1d(sizes=(0,)))
+
+    def test_rejects_shape_mismatch(self):
+        bad = valid_1d(inputs=(Access("a", 0, (0, 0), (1, 1)),))
+        with pytest.raises(IRError, match="offsets"):
+            validate_nest(bad)
+
+    def test_reduction_output_may_be_one_level(self):
+        # The fuzz generator emits 1-level reduction outputs even inside
+        # multi-dim nests (a single accumulator cell).
+        nest = Nest(
+            name="red",
+            etype=ElementType.F32,
+            sizes=(8, 4),
+            inputs=(
+                Access("a", 0, (0, 0), (1, 8)),
+                Access("b", 64, (0, 0), (1, 8)),
+            ),
+            output=Access("c", 256, (0,), (1,)),
+            ops=(),
+            reduce="add",
+        )
+        validate_nest(nest)
+
+    def test_rejects_fma_without_b(self):
+        bad = loop1d("k", [0], 64, 8, ops=(Op("fma", "b", 1.0),))
+        with pytest.raises(IRError, match="fma"):
+            validate_nest(bad)
+
+    def test_rejects_int_unary(self):
+        bad = loop1d(
+            "k", [0], 64, 8, etype=ElementType.I32, ops=(Op("neg", None),)
+        )
+        with pytest.raises(IRError, match="float"):
+            validate_nest(bad)
+
+    def test_rejects_mac_with_ops(self):
+        bad = valid_1d(reduce="add", use_mac=True, ops=(Op("add", "b"),))
+        with pytest.raises(IRError, match="use_mac"):
+            validate_nest(bad)
+
+    def test_rejects_indirect_on_1d(self):
+        bad = valid_1d(indirect=Indirect("a", 4096))
+        with pytest.raises(IRError, match="2-dimensional"):
+            validate_nest(bad)
+
+    def test_rejects_modifier_at_level_zero(self):
+        nest = Nest(
+            name="m",
+            etype=ElementType.F32,
+            sizes=(8, 4),
+            inputs=(Access("a", 0, (0, 0), (1, 8)),),
+            output=Access("c", 64, (0, 0), (1, 8)),
+            ops=(),
+            size_mods=(Mod(0, "size", "add", 1, 1),),
+        )
+        with pytest.raises(IRError, match="level"):
+            validate_nest(nest)

@@ -1,0 +1,70 @@
+"""Golden tests for the IR migration (the equivalence gate).
+
+memcpy and saxpy must lower to programs *instruction-identical* to the
+legacy hand-written builders on every ISA and vector width.  STREAM's
+legacy builder hoists constants and shares registers across its four
+sub-kernels, so its IR programs legitimately differ in shape; it passes
+through the oracle side of the gate instead (both lowerings verify
+against NumPy and their timing agrees within noise).  dot is IR-native
+(its "legacy" path delegates to the IR), so identity is trivial — the
+gate still exercises its verification.
+"""
+import pytest
+
+from repro.kernels import ALL_ISAS, get_kernel
+from repro.kernels.equivalence import (
+    CYCLE_TOLERANCE,
+    check_kernel,
+    programs_identical,
+)
+
+VECTOR_BITS = (128, 256, 512)
+SCALE = 0.17
+
+
+def gate(name, isa, vector_bits, timing=None):
+    return check_kernel(
+        get_kernel(name), isa,
+        scale=SCALE, vector_bits=vector_bits, timing=timing,
+    )
+
+
+@pytest.mark.parametrize("vector_bits", VECTOR_BITS)
+@pytest.mark.parametrize("isa", ALL_ISAS)
+class TestInstructionIdentical:
+    def test_memcpy(self, isa, vector_bits):
+        verdict = gate("memcpy", isa, vector_bits)
+        assert verdict.verdict == "identical"
+
+    def test_saxpy(self, isa, vector_bits):
+        verdict = gate("saxpy", isa, vector_bits)
+        assert verdict.verdict == "identical"
+
+    def test_dot(self, isa, vector_bits):
+        verdict = gate("dot", isa, vector_bits)
+        assert verdict.verdict == "identical"
+
+
+@pytest.mark.parametrize("isa", ALL_ISAS)
+class TestStreamOracle:
+    def test_stream_verifies_within_cycle_noise(self, isa):
+        # Functional verification at all widths is covered by the slow
+        # marker below; the timing-model cycle check runs at 512 bits.
+        verdict = gate("stream", isa, 512)
+        assert verdict.verdict == "oracle"
+        assert verdict.cycle_delta <= CYCLE_TOLERANCE
+
+    @pytest.mark.parametrize("vector_bits", (128, 256))
+    def test_stream_verifies_functionally(self, isa, vector_bits):
+        verdict = gate("stream", isa, vector_bits, timing=False)
+        assert verdict.verdict == "oracle"
+
+
+class TestProgramsIdentical:
+    def test_detects_divergence(self):
+        kernel = get_kernel("stream")
+        wl = kernel.workload(seed=0, scale=SCALE)
+        ir_prog = kernel.build("uve", wl, lowering="ir")
+        legacy_prog = kernel.build("uve", wl, lowering="legacy")
+        assert not programs_identical(ir_prog, legacy_prog)
+        assert programs_identical(ir_prog, ir_prog)

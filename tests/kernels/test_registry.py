@@ -47,3 +47,30 @@ def test_no_optional_module_fails_in_this_build():
     # The full evaluation suite ships with the repo; a failure here means
     # a kernel module broke at import time (syntax error, missing dep).
     assert registry.import_failures() == {}
+
+
+def test_extensions_excluded_by_default():
+    """dot is an extension (not in the paper's A..S set): the default
+    kernel list — which the figures and GOLDEN tables iterate — must not
+    include it, while the opt-in flag must."""
+    default_names = registry.kernel_names()
+    assert "dot" not in default_names
+    extended = registry.kernel_names(include_extensions=True)
+    assert "dot" in extended
+    assert set(default_names) < set(extended)
+    assert all(k.paper for k in registry.all_kernels())
+
+
+def test_extension_kernels_still_resolvable_by_name():
+    assert registry.get_kernel("dot").name == "dot"
+
+
+def test_unsupported_isas_markers():
+    assert registry.unsupported_isas("gemm") == ("rvv",)
+    assert registry.unsupported_isas("saxpy") == ()
+    assert registry.unsupported_isas("dot") == ()
+
+
+def test_lowering_source_in_describe():
+    assert registry.get_kernel("saxpy").describe()["lowering"] == "ir"
+    assert registry.get_kernel("gemm").describe()["lowering"] == "hand"

@@ -137,6 +137,26 @@ class Pipeline:
         core = config.core
         self._latency = config.latencies
         self._mac_forwarding = core.mac_forwarding
+        # Hot-path scalars hoisted out of the config dataclasses (every
+        # per-cycle stage reads several of these).
+        self._fetch_width = core.fetch_width
+        self._commit_width = core.commit_width
+        self._issue_width = core.issue_width
+        self._decode_queue = core.decode_queue
+        self._frontend_depth = core.frontend_depth
+        self._rob_entries = core.rob_entries
+        self._iq_entries = core.iq_entries
+        self._lq_entries = core.lq_entries
+        self._sq_entries = core.sq_entries
+        self._scheduler_entries = core.scheduler_entries
+        self._core_load_ports = core.load_ports
+        self._core_store_ports = core.store_ports
+        #: rename short-circuit while blocked on a full stream Store FIFO:
+        #: (decode-head op, blocking stream).  While rename is stalled no
+        #: structure fills up (ROB/IQ/LQ/SQ/registers only drain), so the
+        #: recorded cause stays correct until the blocking stream's
+        #: ``store_drained`` counter advances — re-checked live each cycle.
+        self._rename_block = None
         # Structural resources (counters).
         self._rob = 0
         self._iq = 0
@@ -191,32 +211,56 @@ class Pipeline:
         cycle = 0.0
         line_bytes = self.hierarchy.line_bytes
         fast_forward = self.config.fast_forward
+        batching = self.config.event_batching
         stats = self.stats
         engine = self.engine
+        engine_tick = engine.tick if engine is not None else None
+        rob_q = self._rob_q
+        decode = self._decode
+        commit = self._commit
+        issue = self._issue
+        rename = self._rename
+        fetch = self._fetch
         guard = 0
         while True:
             # Every stage reports whether it changed any machine state
             # this cycle; a fully quiescent cycle is eligible for the
-            # event-horizon fast path below.
+            # event-horizon fast path below.  With event batching on,
+            # stages whose inputs are empty (or provably blocked: a ROB
+            # head that has not completed, an issue queue with nothing
+            # in it) are skipped outright — each skip is a pure
+            # short-circuit of a call that would have reported "no
+            # progress" (see docs/TIMING.md).
             progress = False
-            if engine is not None:
-                progress = engine.tick(cycle)
+            if engine_tick is not None:
+                progress = engine_tick(cycle)
             if self._post_stores and self._drain_post_stores(cycle):
                 progress = True
-            if self._rob_q:
-                committed_before = stats.committed
-                self._commit(cycle)
-                if stats.committed != committed_before:
-                    progress = True
-            if self._issue(cycle):
+            if rob_q:
+                if batching:
+                    # _commit's own head gate, checked without the call:
+                    # only a completed head (by cycle-1) can commit.
+                    head_t = rob_q[0].complete
+                    runnable = head_t is not None and head_t <= cycle - 1
+                else:
+                    runnable = True
+                if runnable:
+                    committed_before = stats.committed
+                    commit(cycle)
+                    if stats.committed != committed_before:
+                        progress = True
+            if (not batching or self._iq) and issue(cycle):
                 progress = True
             fetch_stalls_before = stats.fetch_stall_cycles
-            renamed, block_cause = self._rename(cycle)
+            if batching and not decode:
+                renamed, block_cause = 0, None
+            else:
+                renamed, block_cause = rename(cycle)
             if renamed:
                 progress = True
-            if self._fetch(cycle, trace_iter, line_bytes):
+            if fetch(cycle, trace_iter, line_bytes):
                 progress = True
-            if self._trace_done and not self._rob_q and not self._decode:
+            if self._trace_done and not rob_q and not decode:
                 if not (
                     self._post_stores
                     or (engine is not None and engine.stores_pending)
@@ -367,7 +411,7 @@ class Pipeline:
             if blocker.complete is None:
                 self.stats.fetch_stall_cycles += 1
                 return False
-            resume = blocker.complete + self.config.core.frontend_depth
+            resume = blocker.complete + self._frontend_depth
             if now < resume:
                 self.stats.fetch_stall_cycles += 1
                 return False
@@ -376,8 +420,8 @@ class Pipeline:
         if now < self._resume_fetch_at:
             self.stats.fetch_stall_cycles += 1
             return progress
-        width = self.config.core.fetch_width
-        room = self.config.core.decode_queue - len(self._decode)
+        width = self._fetch_width
+        room = self._decode_queue - len(self._decode)
         if room <= 0:
             # A full decode queue stalls fetch exactly like a blocked
             # branch does; count it so decode-bound kernels show up in
@@ -408,10 +452,23 @@ class Pipeline:
 
     def _rename(self, now: float) -> "tuple[int, Optional[str]]":
         """Returns (ops renamed, block cause counted this cycle or None)."""
-        core = self.config.core
         engine = self.engine
+        # Store-FIFO stall short-circuit: while the decode head is parked
+        # on a full Store FIFO, every structural check it passed keeps
+        # passing (resources only drain during the stall), so the only
+        # condition worth re-evaluating is the blocking stream's live
+        # FIFO occupancy.
+        memo = self._rename_block
+        if memo is not None:
+            op, stream, fifo_depth = memo
+            if self._decode and self._decode[0] is op:
+                if stream.store_reserved - stream.store_drained >= fifo_depth:
+                    self.stats.block("store_fifo")
+                    return 0, "store_fifo"
+            self._rename_block = None
         renamed = 0
-        while self._decode and renamed < core.fetch_width:
+        fetch_width = self._fetch_width
+        while self._decode and renamed < fetch_width:
             op = self._decode[0]
             dyn = op.dyn
             cause = self._structural_block(op)
@@ -429,6 +486,7 @@ class Pipeline:
                             >= fifo_depth
                         ):
                             self.stats.block("store_fifo")
+                            self._rename_block = (op, stream, fifo_depth)
                             return renamed, "store_fifo"
             self._decode.popleft()
             renamed += 1
@@ -536,20 +594,19 @@ class Pipeline:
         return renamed, None
 
     def _structural_block(self, op: _Op) -> Optional[str]:
-        core = self.config.core
-        if self._rob >= core.rob_entries:
+        if self._rob >= self._rob_entries:
             return "rob"
         if op.needs_sched:
-            if self._iq >= core.iq_entries:
+            if self._iq >= self._iq_entries:
                 return "iq"
             queue = op.sched
             if queue is None:
                 queue = op.sched = self._sched[op.cluster]
-            if len(queue) >= core.scheduler_entries:
+            if len(queue) >= self._scheduler_entries:
                 return "scheduler"
-        if op.is_load and self._lq >= core.lq_entries:
+        if op.is_load and self._lq >= self._lq_entries:
             return "lq"
-        if op.is_store and self._sq >= core.sq_entries:
+        if op.is_store and self._sq >= self._sq_entries:
             return "sq"
         free = self._free
         for bank, count in op.needed_banks:

@@ -83,6 +83,26 @@ class StreamingEngine:
         self._store_meta: Deque[EngineStream] = deque()
         self.stats = EngineStats()
         self.last_drain_cycle = 0.0
+        #: cached per-cycle bookkeeping, refreshed only when stream state
+        #: mutates (configure / chunk fill / commit / squash / terminate):
+        #: occupancy-sample contribution and the number of streams that
+        #: could possibly generate a request.  Both are consumed every
+        #: tick, so keeping them incremental turns the quiescent-tick cost
+        #: from O(streams) into O(1).
+        self._cache_dirty = True
+        self._occ_samples = 0
+        self._occ_total = 0
+        self._gen_candidates = 0
+        self._all_modules = list(range(config.processing_modules))
+        self._module_busy_until = 0.0
+        # Hot-path scalars hoisted out of config/hierarchy indirection.
+        self._l1d = hierarchy.l1d
+        self._line_bytes = hierarchy.line_bytes
+        self._backlog_limit = 4 * config.memory_request_queue
+        override = config.mem_level_override
+        self._level_override = (
+            MemLevel[override.upper()] if override else None
+        )
 
     # -- Configuration (SCROB) ---------------------------------------------------
 
@@ -117,6 +137,7 @@ class StreamingEngine:
             start_cycle=start,
         )
         self.stats.configs += 1
+        self._cache_dirty = True
         return start
 
     def _stream(self, uid: int) -> EngineStream:
@@ -127,6 +148,32 @@ class StreamingEngine:
 
     # -- Per-cycle operation -----------------------------------------------------------
 
+    def _refresh_cache(self) -> None:
+        """Recompute the tick-time bookkeeping after a stream mutation.
+
+        ``_gen_candidates`` is deliberately conservative (it ignores
+        ``start_cycle`` and, under a shared FIFO, the pool headroom): a
+        counted stream may still be rejected by the scheduler's exact
+        eligibility test, but a zero count *proves* the scheduler would
+        select nothing, letting tick() skip it entirely."""
+        depth = self.config.fifo_depth
+        shared = self.config.shared_fifo
+        samples = occupancy = candidates = 0
+        for stream in self.streams.values():
+            if stream.is_load and not stream.terminated:
+                samples += 1
+                # inlined fifo_occupancy() for load streams
+                fifo = stream.gen_next - stream.commit_head
+                occupancy += fifo
+                if stream.gen_next < stream.num_chunks and (
+                    shared or fifo < depth
+                ):
+                    candidates += 1
+        self._occ_samples = samples
+        self._occ_total = occupancy
+        self._gen_candidates = candidates
+        self._cache_dirty = False
+
     def tick(self, now: float) -> bool:
         """One engine cycle: schedule streams, generate line requests.
 
@@ -134,24 +181,29 @@ class StreamingEngine:
         generated, a store line drained, or a request-queue stall was
         recorded); False means the engine is quiescent this cycle and
         the caller may fast-forward over identical cycles."""
-        expired = bisect.bisect_right(self._outstanding, now)
-        if expired:
-            del self._outstanding[:expired]
+        outstanding = self._outstanding
+        if outstanding and outstanding[0] <= now:
+            del outstanding[: bisect.bisect_right(outstanding, now)]
         # Drain prechecks inlined: most cycles the queue head is gated on
         # L1 MSHR availability, so skip the call (not the semantics).
         sq = self._store_queue
         progress = (
             bool(sq)
             and sq[0][0] <= now
-            and self.hierarchy.l1d.can_accept(now)
+            and self._l1d.can_accept(now)
             and self._drain_stores(now) > 0
         )
-        if self.streams:
+        if self._cache_dirty:
+            self._refresh_cache()
+        if self._gen_candidates:
             requests_before = self.stats.line_requests
             stalls_before = self.stats.request_queue_stalls
-            modules = [
-                m for m, busy in enumerate(self._module_busy) if busy <= now
-            ]
+            if self._module_busy_until <= now:
+                modules = self._all_modules
+            else:
+                modules = [
+                    m for m, busy in enumerate(self._module_busy) if busy <= now
+                ]
             if modules:
                 pool_free = (
                     self._shared_pool_free() if self.config.shared_fifo else None
@@ -170,14 +222,8 @@ class StreamingEngine:
 
         stats = self.stats
         if stats.occupancy_samples < (1 << 30):
-            samples = occupancy = 0
-            for stream in self.streams.values():
-                if stream.is_load and not stream.terminated:
-                    samples += 1
-                    # inlined fifo_occupancy() for load streams
-                    occupancy += stream.gen_next - stream.commit_head
-            stats.occupancy_samples += samples
-            stats.occupancy_total += occupancy
+            stats.occupancy_samples += self._occ_samples
+            stats.occupancy_total += self._occ_total
         return progress
 
     def skip_idle(self, cycles: int) -> None:
@@ -190,11 +236,10 @@ class StreamingEngine:
         if cycles <= 0:
             return
         stats = self.stats
-        samples = occupancy = 0
-        for stream in self.streams.values():
-            if stream.is_load and not stream.terminated:
-                samples += 1
-                occupancy += stream.gen_next - stream.commit_head
+        if self._cache_dirty:
+            self._refresh_cache()
+        samples = self._occ_samples
+        occupancy = self._occ_total
         if not samples or stats.occupancy_samples >= (1 << 30):
             return
         # Mirror tick()'s cap semantics: a cycle samples every stream iff
@@ -208,13 +253,9 @@ class StreamingEngine:
         line = stream.next_line_request()
         if line is None:
             return
-        addr_probe = line * self.hierarchy.line_bytes
-        if not self.hierarchy.tlb.probe(addr_probe):
-            # Page fault on a stream element: the element is flagged and
-            # the exception handled when the consuming instruction
-            # commits (§IV-A); the engine itself never traps, which is
-            # what allows safe prefetching across page boundaries (A2).
-            self.stats.page_faults += 1
+        stats = self.stats
+        hierarchy = self.hierarchy
+        addr = line * self._line_bytes
         # The Memory Request Queue stages requests between the address
         # generators and the arbiter (10-byte entries, §VI-C); issued
         # requests are tracked by the cache hierarchy's own MSHRs, so the
@@ -226,26 +267,44 @@ class StreamingEngine:
         # safety bound keeps pathological bursts from bypassing it.
         outstanding = self._outstanding
         backlog = len(outstanding) - bisect.bisect_right(outstanding, now + 60)
-        if backlog >= 4 * self.config.memory_request_queue:
-            self.stats.request_queue_stalls += 1
+        if backlog >= self._backlog_limit:
+            # Page fault on a stream element: the element is flagged and
+            # the exception handled when the consuming instruction
+            # commits (§IV-A); the engine itself never traps, which is
+            # what allows safe prefetching across page boundaries (A2).
+            if not hierarchy.tlb.probe(addr):
+                stats.page_faults += 1
+            stats.request_queue_stalls += 1
             return
         # TLB translation through the engine's arbiter (A2: streams cross
         # page boundaries safely; faults are flagged, not raised, here).
-        addr = line * self.hierarchy.line_bytes
-        try:
-            delay = self.hierarchy.tlb.translate(addr)
-        except Exception:
-            delay = self.hierarchy.tlb.walk_latency
-        completion = self.hierarchy.stream_read(
-            line, now + 1 + delay, self._level_of(stream)
-        )
-        bisect.insort(self._outstanding, completion)
-        self.stats.line_requests += 1
+        tlb = hierarchy.tlb
+        fused = getattr(tlb, "stream_translate", None)
+        if fused is not None:
+            mapped, delay = fused(addr)
+        else:  # test doubles that only model probe()/translate()
+            mapped = tlb.probe(addr)
+            try:
+                delay = tlb.translate(addr)
+            except Exception:
+                delay = tlb.walk_latency
+        if not mapped:
+            stats.page_faults += 1
+        level = self._level_override
+        if level is None:
+            level = stream.info.mem_level
+        completion = hierarchy.stream_read(line, now + 1 + delay, level)
+        bisect.insort(outstanding, completion)
+        stats.line_requests += 1
         finished_chunk = stream.line_issued(completion)
         if finished_chunk is not None:
             self.stats.chunks_filled += 1
+            self._cache_dirty = True
             if stream.crosses_dimension():
-                self._module_busy[module] = now + 1 + self.config.dim_switch_penalty
+                busy = now + 1 + self.config.dim_switch_penalty
+                self._module_busy[module] = busy
+                if busy > self._module_busy_until:
+                    self._module_busy_until = busy
                 self.stats.dim_switch_stalls += 1
 
     def _shared_pool_free(self) -> int:
@@ -283,9 +342,11 @@ class StreamingEngine:
     def commit_read(self, uid: int, chunk: int) -> None:
         self._stream(uid).commit_read(chunk)
         self.stats.chunks_committed += 1
+        self._cache_dirty = True
 
     def squash(self, uid: int, chunk: int) -> None:
         self._stream(uid).squash_to(chunk)
+        self._cache_dirty = True
 
     def reserve_store(self, uid: int) -> bool:
         return self._stream(uid).reserve_store()
@@ -310,27 +371,33 @@ class StreamingEngine:
         stream = self.streams.get(uid)
         if stream is not None:
             stream.terminate()
+            self._cache_dirty = True
 
     def _drain_stores(self, now: float) -> int:
         """Issue queued stream stores, one per store port per cycle; the
         L1 applies backpressure through MSHR availability.  Returns the
         number of lines drained this cycle."""
         drained = 0
+        queue = self._store_queue
+        meta = self._store_meta
+        l1d = self._l1d
+        hierarchy = self.hierarchy
         for _ in range(self.config.store_ports):
-            if not self._store_queue:
+            if not queue:
                 return drained
-            ready, line, level = self._store_queue[0]
+            ready, line, level = queue[0]
             if ready > now:
                 return drained
-            if not self.hierarchy.l1d.can_accept(now):
+            if not l1d.can_accept(now):
                 return drained
-            self._store_queue.popleft()
-            stream = self._store_meta.popleft()
-            done = self.hierarchy.stream_write(line, now, level)
+            queue.popleft()
+            stream = meta.popleft()
+            done = hierarchy.stream_write(line, now, level)
             if stream is not None:
                 stream.drain_store()
             self.stats.store_lines += 1
-            self.last_drain_cycle = max(self.last_drain_cycle, done)
+            if done > self.last_drain_cycle:
+                self.last_drain_cycle = done
             drained += 1
         return drained
 

@@ -7,12 +7,21 @@ The functional pass is deliberately excluded: it is shared by both
 configurations and would only dilute the quantity being optimised (the
 per-cycle Python loop in ``Pipeline.run`` / ``StreamingEngine.tick``).
 
-Run as a module to (re)generate the repo's ``BENCH_sim.json``::
+``BENCH_sim.json`` is a *tracked trajectory*: besides the latest run it
+carries an append-only ``trajectory`` list of blessed results (git rev +
+cycles/s per case).  ``--gate`` fails a run that regresses more than
+``GATE_TOLERANCE`` below the newest same-scale entry; ``--bless``
+appends the run as the new reference.  Writes are atomic
+(write-to-temp + rename), so a crash can never lose history.
 
-    PYTHONPATH=src python -m repro.harness.bench --json BENCH_sim.json
+Re-measure and extend the repo's ``BENCH_sim.json``::
 
-CI runs this and uploads the artifact; ``benchmarks/test_perf.py`` wraps
-it under pytest-benchmark.
+    PYTHONPATH=src python -m repro.harness.bench --repeats 3 \
+        --json BENCH_sim.json --gate --bless
+
+CI runs the gate at reduced scale against the previous run's cached
+artifact and uploads the result; ``benchmarks/test_perf.py`` wraps the
+same machinery under pytest.
 """
 from __future__ import annotations
 
@@ -21,6 +30,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -33,13 +43,18 @@ from repro.kernels import get_kernel
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.functional import FunctionalSimulator
 
-#: kernel × ISA pairs benchmarked by default: the two memory-bound
-#: kernels the acceptance gate names, on both machine flavours
+#: kernel × ISA pairs benchmarked by default: the memory-bound kernels
+#: the acceptance gate names on the UVE machine, plus one SVE reference
 DEFAULT_CASES: Tuple[Tuple[str, str], ...] = (
     ("stream", "uve"),
     ("memcpy", "uve"),
+    ("saxpy", "uve"),
     ("memcpy", "sve"),
 )
+
+#: regression tolerance of the trajectory gate: a run whose cycles/s
+#: falls more than this fraction below the last blessed entry fails
+GATE_TOLERANCE = 0.10
 
 
 @dataclass
@@ -241,10 +256,131 @@ def run_benchmarks(
     return out
 
 
+# -- Tracked trajectory -------------------------------------------------------
+#
+# BENCH_sim.json carries an append-only ``trajectory`` list: one entry
+# per blessed run, recording the git revision and the cycles/s each case
+# achieved.  ``--gate`` compares a fresh run against the newest entry of
+# the same scale and fails on a >GATE_TOLERANCE regression, turning the
+# file into a simulator-performance ratchet; ``--bless`` appends the
+# fresh run as the new reference.  Entries are never rewritten.
+
+
+def _git_rev() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=here,
+        )
+        rev = out.stdout.strip()
+    except Exception:
+        return "unknown"
+    try:
+        dirty = subprocess.run(
+            ["git", "diff", "--quiet", "HEAD"], cwd=here
+        ).returncode != 0
+    except Exception:
+        dirty = False
+    return rev + "-dirty" if dirty else rev
+
+
+def trajectory_entry(results: Dict[str, object], rev: str = "") -> Dict[str, object]:
+    """One append-only trajectory record summarising ``results``."""
+    runs = results["runs"]
+    return {
+        "rev": rev or _git_rev(),
+        "recorded_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": results["scale"],
+        "cycles": {f"{r['kernel']}/{r['isa']}": r["cycles"] for r in runs},
+        "cycles_per_sec_on": {
+            f"{r['kernel']}/{r['isa']}": r["cycles_per_sec_on"] for r in runs
+        },
+    }
+
+
+def _reference_from(doc: Dict[str, object], scale: float) -> Optional[Dict]:
+    """Extract a gate reference from a results document: the newest
+    same-scale trajectory entry, else the document's own runs (so a
+    previous CI artifact works directly as ``--gate-against``)."""
+    for entry in reversed(doc.get("trajectory", [])):
+        if entry.get("scale") == scale:
+            return entry
+    if doc.get("scale") == scale and "runs" in doc:
+        return trajectory_entry(doc, rev=str(doc.get("rev", "previous-run")))
+    return None
+
+
+def check_gate(
+    results: Dict[str, object],
+    reference: Optional[Dict],
+    tolerance: float = GATE_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """Compare ``results`` against a trajectory ``reference``.
+
+    Returns ``(failures, warnings)``.  Only cases present in both are
+    compared, and only when their simulated cycle counts agree — a cycle
+    count changed by a timing-model PR makes wall-clock comparison
+    meaningless, so it downgrades to a warning (model *output* drift is
+    guarded separately by tier-1 and the differential fuzzer).
+    """
+    failures: List[str] = []
+    warnings: List[str] = []
+    if reference is None:
+        warnings.append("gate: no same-scale reference entry; passing")
+        return failures, warnings
+    ref_cycles = reference.get("cycles", {})
+    ref_cps = reference.get("cycles_per_sec_on", {})
+    for run in results["runs"]:
+        key = f"{run['kernel']}/{run['isa']}"
+        want_cps = ref_cps.get(key)
+        if want_cps is None:
+            warnings.append(f"gate: {key} not in reference; skipping")
+            continue
+        want_cycles = ref_cycles.get(key)
+        if want_cycles is not None and want_cycles != run["cycles"]:
+            warnings.append(
+                f"gate: {key} simulated cycles changed "
+                f"{want_cycles} -> {run['cycles']}; wall-clock comparison "
+                "skipped (bless a new entry after review)"
+            )
+            continue
+        floor = want_cps * (1.0 - tolerance)
+        if run["cycles_per_sec_on"] < floor:
+            failures.append(
+                f"gate: {key} regressed to {run['cycles_per_sec_on']:,.0f} "
+                f"cycles/s, more than {tolerance:.0%} below the blessed "
+                f"{want_cps:,.0f} (rev {reference.get('rev', '?')})"
+            )
+    return failures, warnings
+
+
+def _atomic_write_json(path: str, payload: Dict[str, object]) -> None:
+    """Replace ``path`` atomically so a crash mid-write can never lose
+    the append-only trajectory."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--json", default=None, help="write the results to this JSON file"
+        "--json", default=None, help="write the results to this JSON file "
+        "(an existing file's trajectory is carried forward)"
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--repeats", type=int, default=2)
@@ -264,12 +400,43 @@ def main(argv=None) -> int:
         default="",
         help="label recorded for the baseline tree (e.g. its git rev)",
     )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail (exit 2) if cycles/s regresses more than the tolerance "
+        "below the newest same-scale trajectory entry",
+    )
+    parser.add_argument(
+        "--gate-against",
+        default=None,
+        help="read the gate reference from this JSON file instead of the "
+        "--json file (e.g. a previous CI artifact)",
+    )
+    parser.add_argument(
+        "--gate-tolerance",
+        type=float,
+        default=GATE_TOLERANCE,
+        help="allowed fractional cycles/s regression (default %(default)s)",
+    )
+    parser.add_argument(
+        "--bless",
+        action="store_true",
+        help="append this run to the trajectory as the new gate reference "
+        "(skipped if --gate fails)",
+    )
     args = parser.parse_args(argv)
     cases = DEFAULT_CASES
     if args.cases:
         cases = tuple(
             tuple(pair.split("/", 1)) for pair in args.cases.split(",")
         )
+
+    previous: Dict[str, object] = {}
+    if args.json and os.path.exists(args.json):
+        with open(args.json) as fh:
+            previous = json.load(fh)
+    trajectory = list(previous.get("trajectory", []))
+
     results = run_benchmarks(
         cases,
         scale=args.scale,
@@ -277,12 +444,33 @@ def main(argv=None) -> int:
         baseline_src=args.baseline_src,
         baseline_ref=args.baseline_ref,
     )
+
+    failures: List[str] = []
+    if args.gate:
+        if args.gate_against:
+            with open(args.gate_against) as fh:
+                reference = _reference_from(json.load(fh), args.scale)
+        else:
+            reference = _reference_from(
+                {"trajectory": trajectory}, args.scale
+            )
+        failures, warnings = check_gate(
+            results, reference, tolerance=args.gate_tolerance
+        )
+        for line in warnings:
+            print(line, file=sys.stderr)
+        for line in failures:
+            print(line, file=sys.stderr)
+
+    if args.bless and not failures:
+        trajectory.append(trajectory_entry(results))
+    results["trajectory"] = trajectory
+
     text = json.dumps(results, indent=2)
     print(text)
     if args.json:
-        with open(args.json, "w") as fh:
-            fh.write(text + "\n")
-    return 0
+        _atomic_write_json(args.json, results)
+    return 2 if failures else 0
 
 
 if __name__ == "__main__":

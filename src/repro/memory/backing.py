@@ -65,6 +65,62 @@ class Memory:
             np.uint8
         )
 
+    # -- Vector (gather/scatter) access ---------------------------------------
+
+    def _check_vector(self, addrs: np.ndarray, width: int) -> None:
+        """Bounds-check a whole address vector.
+
+        Raises the same :class:`MemoryAccessError` a sequential scalar loop
+        would raise — for the *first* offending address in vector order.
+        """
+        bad = (addrs < 0) | (addrs + width > self.size)
+        if bad.any():
+            addr = int(addrs[int(np.argmax(bad))])
+            raise MemoryAccessError(
+                f"access [{addr}, {addr + width}) outside memory of size "
+                f"{self.size}"
+            )
+
+    def read_gather(self, addrs: np.ndarray, etype: ElementType) -> np.ndarray:
+        """Read one element per address (fancy-indexed gather, copy)."""
+        w = etype.width
+        addrs = np.asarray(addrs, dtype=np.int64)
+        self._check_vector(addrs, w)
+        if not (addrs % w).any():  # aligned fast path through a typed view
+            return self._view(etype)[addrs // w]
+        # Unaligned fallback: gather a (n, w) byte matrix and reinterpret.
+        rows = self.data[addrs[:, None] + np.arange(w)]
+        return np.ascontiguousarray(rows).view(etype.dtype).reshape(-1)
+
+    def write_scatter(self, addrs: np.ndarray, values: np.ndarray,
+                      etype: ElementType) -> None:
+        """Write one element per address (fancy-indexed scatter).
+
+        Duplicate addresses resolve last-write-wins, matching a sequential
+        scalar loop.  On an out-of-bounds address, the in-bounds *prefix*
+        (in vector order) is written before the error is raised — again
+        matching the partial effects of the sequential loop.
+        """
+        w = etype.width
+        addrs = np.asarray(addrs, dtype=np.int64)
+        values = np.asarray(values, dtype=etype.dtype)
+        bad = (addrs < 0) | (addrs + w > self.size)
+        if bad.any():
+            k = int(np.argmax(bad))
+            prefix = addrs[:k]
+            if k:
+                self.write_scatter(prefix, values[:k], etype)
+            addr = int(addrs[k])
+            raise MemoryAccessError(
+                f"access [{addr}, {addr + w}) outside memory of size "
+                f"{self.size}"
+            )
+        if not (addrs % w).any():
+            self._view(etype)[addrs // w] = values
+            return
+        rows = values.reshape(-1, 1).view(np.uint8)
+        self.data[addrs[:, None] + np.arange(w)] = rows
+
     # -- Block access ---------------------------------------------------------
 
     def read_block(self, addr: int, count: int, etype: ElementType) -> np.ndarray:

@@ -17,6 +17,14 @@ from repro.cpu.config import CacheConfig
 from repro.memory.coherence import Event, LineState, next_state
 from repro.memory.slots import SlotReservoir
 
+#: MOESI transitions pre-resolved for the two events the access path
+#: applies (derived from the full table, so they can never drift from it):
+#: a local STORE moves every state to MODIFIED; an EVICT writes back only
+#: dirty (M/O) lines.  Looking these up inline avoids hashing a
+#: ``(state, event)`` tuple on every hot access.
+_STORE_NEXT = {s: next_state(s, Event.STORE)[0] for s in LineState}
+_EVICT_WRITEBACK = {s: next_state(s, Event.EVICT)[2] for s in LineState}
+
 
 class _Line:
     __slots__ = ("ready", "state", "prefetched")
@@ -73,6 +81,11 @@ class Cache:
         self._mshr_ready: List[float] = []  # in-flight fill completion times
         self._ports = SlotReservoir(config.ports, 1.0)
         self.stats = CacheStats()
+        # Hot-path scalars hoisted out of the config dataclass.
+        self._hit_latency = config.hit_latency
+        self._assoc = config.assoc
+        self._mshrs = config.mshrs
+        self._port_lanes = config.ports
 
     def _reserve_port(self, now: float) -> float:
         """Occupy one access-port slot; returns the access start."""
@@ -102,7 +115,7 @@ class Cache:
         for t in self._mshr_ready:
             if t > now:
                 live += 1
-        return live < self.config.mshrs
+        return live < self._mshrs
 
     def next_mshr_free(self, now: float) -> float:
         """Earliest future in-flight fill completion — the soonest cycle
@@ -118,7 +131,7 @@ class Cache:
     def _reserve_mshr(self, start: float, ready: float) -> float:
         """Returns the (possibly delayed) start once an MSHR frees up."""
         live = [t for t in self._mshr_ready if t > start]
-        if len(live) >= self.config.mshrs:
+        if len(live) >= self._mshrs:
             start = min(live)
             live = [t for t in live if t > start]
         self._mshr_ready = live
@@ -136,31 +149,51 @@ class Cache:
         cacheable: bool = True,
     ) -> float:
         """Access one cache line; returns the data-ready cycle."""
+        stats = self.stats
         if not cacheable:
-            self.stats.bypasses += 1
+            stats.bypasses += 1
             # One cycle of port occupancy, then forward untouched.
             start = self._reserve_port(now)
             return self.next_level.access(line, start + 1, is_write)
 
-        self.stats.accesses += 1
-        now = self._reserve_port(now)
-        cset = self._set_of(line)
+        stats.accesses += 1
+        # Port reservation, inlined from SlotReservoir.reserve (unit
+        # slots); the reservoir object stays the canonical state so its
+        # introspection helpers keep working.
+        ports = self._ports
+        busy = ports._busy
+        lanes = self._port_lanes
+        index = int(now)
+        count = busy.get(index, 0)
+        while count >= lanes:
+            index += 1
+            count = busy.get(index, 0)
+        busy[index] = count + 1
+        ports._prune_in -= 1
+        if not ports._prune_in:
+            ports._prune_in = 8192
+            ports._prune(index)
+        if index > now:
+            now = float(index)
+        cset = self._sets[line % self._num_sets]
         entry = cset.get(line)
-        hit_latency = self.config.hit_latency
+        hit_latency = self._hit_latency
         if entry is not None:
             cset.move_to_end(line)
-            self.stats.hits += 1
+            stats.hits += 1
             if entry.prefetched:
-                self.stats.prefetch_hits += 1
+                stats.prefetch_hits += 1
                 entry.prefetched = False
-            if entry.ready > now:
-                self.stats.late_hits += 1
-            completion = max(now, entry.ready) + hit_latency
+            ready = entry.ready
+            if ready > now:
+                stats.late_hits += 1
+                done = ready + hit_latency
+            else:
+                done = now + hit_latency
             if is_write:
-                entry.state = next_state(entry.state, Event.STORE)[0]
-            done = completion
+                entry.state = _STORE_NEXT[entry.state]
         else:
-            self.stats.misses += 1
+            stats.misses += 1
             start = self._reserve_mshr(now + hit_latency, 0.0)
             fill_ready = self.next_level.access(line, start, False)
             self._mshr_ready[-1] = fill_ready
@@ -174,32 +207,36 @@ class Cache:
     def _insert(
         self, line: int, ready: float, state: LineState, prefetched: bool
     ) -> None:
-        cset = self._set_of(line)
+        cset = self._sets[line % self._num_sets]
         cset[line] = _Line(ready, state, prefetched)
         cset.move_to_end(line)
-        if len(cset) > self.config.assoc:
+        if len(cset) > self._assoc:
             victim_line, victim = cset.popitem(last=False)
-            _, __, writeback = next_state(victim.state, Event.EVICT)
-            if writeback:
+            if _EVICT_WRITEBACK[victim.state]:
                 self.stats.writebacks += 1
                 # Dirty eviction: charge next-level bandwidth, off the
                 # critical path.
                 self.next_level.access(victim_line, ready, True)
 
     def _run_prefetcher(self, pc: int, line: int, now: float) -> None:
-        addr = line * self.config.line_bytes
+        targets = self.prefetcher.observe(pc, line * self.config.line_bytes)
+        if not targets:
+            return
         # Prefetches may use at most half the MSHRs, so they can never
         # starve demand misses.
-        budget = max(1, self.config.mshrs // 2)
-        for target in self.prefetcher.observe(pc, addr):
-            if self.contains(target):
+        budget = self._mshrs // 2 or 1
+        sets = self._sets
+        num_sets = self._num_sets
+        next_access = self.next_level.access
+        for target in targets:
+            if target in sets[target % num_sets]:
                 continue
             live = [t for t in self._mshr_ready if t > now]
             if len(live) >= budget:
                 break  # no prefetch MSHR: drop it (never stall demand)
-            ready = self.next_level.access(target, now + 1, False)
+            ready = next_access(target, now + 1, False)
+            live.append(ready)
             self._mshr_ready = live
-            self._mshr_ready.append(ready)
             self.stats.prefetch_fills += 1
             self._insert(target, ready, LineState.EXCLUSIVE, prefetched=True)
 

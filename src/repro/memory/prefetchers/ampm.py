@@ -50,30 +50,40 @@ class AmpmPrefetcher:
         """Record a demand access; return line addresses to prefetch."""
         lpz = self.lines_per_zone
         line = addr // self.line_bytes
-        zone = line // lpz
-        offset = line % lpz
-        bitmap = self._bitmap(zone)
-        self._zones[zone] = bitmap | (1 << offset)
+        zone, offset = divmod(line, lpz)
+        zones = self._zones
+        bitmap = zones.get(zone)
+        if bitmap is None:
+            bitmap = 0
+            if len(zones) >= self._max_zones:
+                zones.popitem(last=False)
+        else:
+            zones.move_to_end(zone)
+        zones[zone] = bitmap | (1 << offset)
         out: List[int] = []
         degree = self.degree
         base = zone * lpz
         # Stride scan on the raw bitmap (a per-call closure here shows up
-        # on the simulator's hot path — every L2 demand access).
+        # on the simulator's hot path — every L2 demand access).  The
+        # inner candidate loop is unrolled into explicit dedup'd appends;
+        # a matching stride yielding fewer than ``degree`` targets lets
+        # the scan continue with the next stride, as before.
         for stride in _CANDIDATE_STRIDES:
             index = offset - stride
-            if not (0 <= index < lpz and (bitmap >> index) & 1):
+            if index < 0 or index >= lpz or not (bitmap >> index) & 1:
                 continue
-            index = offset - 2 * stride
-            if not (0 <= index < lpz and (bitmap >> index) & 1):
+            index -= stride
+            if index < 0 or index >= lpz or not (bitmap >> index) & 1:
                 continue
-            for k in range(1, degree + 1):
-                target = offset + k * stride
+            target = offset + stride
+            for _ in range(degree):
                 if 0 <= target < lpz:
                     candidate = base + target
                     if candidate not in out:
                         out.append(candidate)
                 if len(out) >= degree:
                     break
+                target += stride
             if len(out) >= degree:
                 break
         self.issued += len(out)

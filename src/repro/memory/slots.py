@@ -19,7 +19,7 @@ class SlotReservoir:
         self.slot_cycles = slot_cycles
         self._unit = slot_cycles == 1.0  # cache ports: skip the division
         self._busy = {}  # slot index -> reservations
-        self._reserves = 0
+        self._prune_in = 8192  # reservations until the next prune sweep
         self._low_watermark = 0
 
     def reserve(self, t: float) -> float:
@@ -32,10 +32,12 @@ class SlotReservoir:
             index += 1
             count = busy.get(index, 0)
         busy[index] = count + 1
-        self._reserves += 1
-        if self._reserves % 8192 == 0:
+        self._prune_in -= 1
+        if not self._prune_in:
+            self._prune_in = 8192
             self._prune(index)
-        return max(t, index * self.slot_cycles)
+        start = index * self.slot_cycles
+        return t if t >= start else start
 
     def _prune(self, current_index: int) -> None:
         """Drop bookkeeping for slots far in the past."""

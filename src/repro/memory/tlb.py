@@ -54,5 +54,27 @@ class Tlb:
         """True if the page is mapped (no state change, no fault)."""
         return self.is_mapped(addr // self.page_bytes)
 
+    def stream_translate(self, addr: int) -> "tuple[bool, int]":
+        """Engine-side probe + translate fused into one page lookup:
+        returns ``(mapped, delay)``.  Unlike :meth:`translate`, a fault
+        is flagged rather than raised — the engine never traps (§IV-A);
+        hit/miss/fault counters advance exactly as probe-then-translate
+        would."""
+        page = addr // self.page_bytes
+        cached = self._cached
+        mapped = self.is_mapped(page)
+        if page in cached:
+            cached.move_to_end(page)
+            self.hits += 1
+            return mapped, 0
+        self.misses += 1
+        if not mapped:
+            self.faults += 1
+            return mapped, self.walk_latency
+        cached[page] = True
+        if len(cached) > self.entries:
+            cached.popitem(last=False)
+        return mapped, self.walk_latency
+
     def flush(self) -> None:
         self._cached.clear()

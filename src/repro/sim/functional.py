@@ -33,7 +33,7 @@ from repro.streams.descriptor import (
     StaticBehavior,
     StaticModifier,
 )
-from repro.streams.iterator import StreamIterator
+from repro.streams.iterator import RunIterator, StreamIterator
 from repro.streams.limits import MAX_DIMENSIONS, MAX_MODIFIERS, MAX_STREAMS
 from repro.streams.pattern import Direction, Level, MemLevel, StreamPattern
 
@@ -92,7 +92,19 @@ def hardware_stream_count(pattern: StreamPattern) -> int:
 
 
 class _RuntimeStream:
-    """The architectural state of one active stream."""
+    """The architectural state of one active stream.
+
+    Address generation is run-granular by default: a
+    :class:`~repro.streams.iterator.RunIterator` materialises each
+    dimension-0 instance as one NumPy address vector, and vector reads /
+    writes slice whole chunks out of the buffered run (chunks never cross
+    a dimension-0 boundary, so a chunk is always a slice of one run).
+
+    ``vectorized=False`` selects the legacy element-granular path — one
+    Python iteration and one scalar memory access per element, with no
+    contiguity fast path at all.  It is deliberately kept as the trusted
+    reference the property tests compare the vectorized path against.
+    """
 
     def __init__(
         self,
@@ -102,6 +114,7 @@ class _RuntimeStream:
         lanes: int,
         memory: Memory,
         trace: StreamTraceInfo,
+        vectorized: bool = True,
     ) -> None:
         self.uid = uid
         self.reg = reg
@@ -109,6 +122,7 @@ class _RuntimeStream:
         self.lanes = lanes
         self.mem = memory
         self.trace = trace
+        self.vectorized = vectorized
         self.origin_pending: List[int] = []
 
         def read_element(addr: int, etype: ElementType):
@@ -116,7 +130,13 @@ class _RuntimeStream:
             return memory.read_scalar(addr, etype)
 
         reader = read_element if pattern.has_indirection else None
-        self._elements = iter(StreamIterator(pattern, reader))
+        if vectorized:
+            self._runs = iter(RunIterator(pattern, reader))
+            self._run_addrs: Optional[np.ndarray] = None
+            self._run_pos = 0
+            self._run_flags = -1
+        else:
+            self._elements = iter(StreamIterator(pattern, reader))
         self.last_flags = -1
         self.ended = False
         self.suspended = False
@@ -133,9 +153,23 @@ class _RuntimeStream:
 
         Prefetched data was lost on the switch, so iteration resumes from
         the saved commit point; skipped elements are not re-recorded."""
-        for _ in range(count):
-            addr, flags = self._next_element()
-            self.last_flags = flags
+        if self.vectorized:
+            remaining = count
+            while remaining > 0:
+                addrs = self._run_addrs
+                if addrs is None or self._run_pos == len(addrs):
+                    self._advance_run()
+                    addrs = self._run_addrs
+                take = min(remaining, len(addrs) - self._run_pos)
+                self._run_pos += take
+                remaining -= take
+                self.last_flags = (
+                    self._run_flags if self._run_pos == len(addrs) else -1
+                )
+        else:
+            for _ in range(count):
+                addr, flags = self._next_element()
+                self.last_flags = flags
         self.elements_done = count
         self.ended = count > 0 and self.last_flags == self.pattern.ndims - 1
 
@@ -143,7 +177,41 @@ class _RuntimeStream:
     def direction(self) -> Direction:
         return self.pattern.direction
 
+    def _advance_run(self) -> None:
+        try:
+            run = next(self._runs)
+        except StopIteration:
+            raise StreamError(
+                f"stream u{self.reg} iterated past its end"
+            ) from None
+        self._run_addrs = run.addresses
+        self._run_pos = 0
+        self._run_flags = run.dims_ended
+
+    def _next_chunk(self) -> Tuple[np.ndarray, int, int]:
+        """Slice the next chunk (<= lanes elements, within the buffered
+        dimension-0 run) and return ``(addresses, count, flags)``."""
+        addrs = self._run_addrs
+        if addrs is None or self._run_pos == len(addrs):
+            self._advance_run()
+            addrs = self._run_addrs
+        pos = self._run_pos
+        count = min(self.lanes, len(addrs) - pos)
+        end = pos + count
+        self._run_pos = end
+        flags = self._run_flags if end == len(addrs) else -1
+        return addrs[pos:end], count, flags
+
     def _next_element(self) -> Tuple[int, int]:
+        if self.vectorized:
+            addrs = self._run_addrs
+            if addrs is None or self._run_pos == len(addrs):
+                self._advance_run()
+                addrs = self._run_addrs
+            pos = self._run_pos
+            self._run_pos = pos + 1
+            flags = self._run_flags if pos + 1 == len(addrs) else -1
+            return int(addrs[pos]), flags
         try:
             element = next(self._elements)
         except StopIteration:
@@ -176,29 +244,35 @@ class _RuntimeStream:
                 f"stream u{self.reg}: vector read after partial scalar "
                 "consumption of the current chunk"
             )
-        addrs = self._open_chunk
-        count = 0
-        flags = -1
-        while count < self.lanes:
-            addr, flags = self._next_element()
-            addrs.append(addr)
-            count += 1
-            if flags >= 0:
-                break
-        self.last_flags = flags
         data = np.zeros(self.lanes, dtype=etype.dtype)
         valid = np.zeros(self.lanes, dtype=bool)
-        valid[:count] = True
-        width = etype.width
-        first = addrs[0]
-        if addrs[-1] - first == (count - 1) * width and (
-            count < 3 or addrs[1] - first == width
-        ):
-            data[:count] = self.mem.read_block(first, count, etype)
+        if self.vectorized:
+            chunk, count, flags = self._next_chunk()
+            width = etype.width
+            # Contiguity fast path.  The *whole* address vector must step by
+            # exactly one element width — checking only the endpoints would
+            # let a permuted interior (e.g. [0, 8, 100, 24]) read the wrong
+            # bytes through read_block.
+            if count == 1 or bool((chunk[1:] - chunk[:-1] == width).all()):
+                data[:count] = self.mem.read_block(int(chunk[0]), count, etype)
+            else:
+                data[:count] = self.mem.read_gather(chunk, etype)
+            self._open_chunk = chunk.tolist()
         else:
+            addrs = self._open_chunk
+            count = 0
+            flags = -1
+            while count < self.lanes:
+                addr, flags = self._next_element()
+                addrs.append(addr)
+                count += 1
+                if flags >= 0:
+                    break
             mem = self.mem
             for i in range(count):
                 data[i] = mem.read_scalar(addrs[i], etype)
+        valid[:count] = True
+        self.last_flags = flags
         self._close_chunk()
         self.elements_done += count
         self.ended = self.last_flags == self.pattern.ndims - 1
@@ -214,27 +288,32 @@ class _RuntimeStream:
                 f"stream u{self.reg}: vector write after partial scalar "
                 "production of the current chunk"
             )
-        addrs = self._open_chunk
-        count = 0
-        flags = -1
-        while count < self.lanes:
-            addr, flags = self._next_element()
-            addrs.append(addr)
-            count += 1
-            if flags >= 0:
-                break
-        self.last_flags = flags
-        width = etype.width
-        first = addrs[0]
-        if addrs[-1] - first == (count - 1) * width and (
-            count < 3 or addrs[1] - first == width
-        ):
-            self.mem.write_block(first, value.data[:count])
+        if self.vectorized:
+            chunk, count, flags = self._next_chunk()
+            width = etype.width
+            # Same full-vector contiguity check as read_vector; scattered
+            # chunks (including duplicate addresses, which resolve
+            # last-write-wins like the scalar loop) go through write_scatter.
+            if count == 1 or bool((chunk[1:] - chunk[:-1] == width).all()):
+                self.mem.write_block(int(chunk[0]), value.data[:count])
+            else:
+                self.mem.write_scatter(chunk, value.data[:count], etype)
+            self._open_chunk = chunk.tolist()
         else:
+            addrs = self._open_chunk
+            count = 0
+            flags = -1
+            while count < self.lanes:
+                addr, flags = self._next_element()
+                addrs.append(addr)
+                count += 1
+                if flags >= 0:
+                    break
             mem = self.mem
             data = value.data
             for i in range(count):
                 mem.write_scalar(addrs[i], data[i], etype)
+        self.last_flags = flags
         self._close_chunk()
         self.elements_done += count
         self.ended = self.last_flags == self.pattern.ndims - 1
@@ -284,9 +363,13 @@ class MachineState:
         self,
         memory: Optional[Memory] = None,
         vector_bits: int = DEFAULT_VECTOR_BITS,
+        vectorized_streams: bool = True,
     ) -> None:
         self.mem = memory if memory is not None else Memory()
         self.vector_bits = vector_bits
+        #: run-granular NumPy stream execution; False selects the legacy
+        #: element-granular reference path (kept for differential testing)
+        self.vectorized_streams = vectorized_streams
         self.xregs = [0] * 32
         self.fregs = [0.0] * 32
         self.vregs: List[VecValue] = [
@@ -531,7 +614,8 @@ class MachineState:
         self.stream_infos[uid] = info
         lanes = self.lanes(pattern.etype)
         self._streams[index] = _RuntimeStream(
-            uid, index, pattern, lanes, self.mem, info
+            uid, index, pattern, lanes, self.mem, info,
+            vectorized=self.vectorized_streams,
         )
         self.ev_cfg_uid = uid
         self._ev_dirty = True
@@ -651,7 +735,8 @@ class MachineState:
             )
             self.stream_infos[uid] = info
             stream = _RuntimeStream(
-                uid, index, pattern, self.lanes(pattern.etype), self.mem, info
+                uid, index, pattern, self.lanes(pattern.etype), self.mem, info,
+                vectorized=self.vectorized_streams,
             )
             stream.skip_elements(saved["elements_done"])
             self._streams[index] = stream
@@ -669,9 +754,14 @@ class FunctionalSimulator:
         memory: Optional[Memory] = None,
         vector_bits: int = DEFAULT_VECTOR_BITS,
         max_steps: int = 50_000_000,
+        vectorized_streams: bool = True,
     ) -> None:
         self.program = program
-        self.state = state or MachineState(memory=memory, vector_bits=vector_bits)
+        self.state = state or MachineState(
+            memory=memory,
+            vector_bits=vector_bits,
+            vectorized_streams=vectorized_streams,
+        )
         self.max_steps = max_steps
         self.summary = TraceSummary()
 

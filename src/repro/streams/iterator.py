@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, NamedTuple, Optional
 
+import numpy as np
+
 from repro.errors import DescriptorError, StreamError
 from repro.streams.descriptor import (
     Descriptor,
@@ -202,6 +204,157 @@ class StreamIterator:
     def addresses(self, limit: int = 1_000_000) -> List[int]:
         """Byte addresses of the whole pattern (test/debug helper)."""
         return [e.address for e in self.materialize(limit)]
+
+
+class StreamRun(NamedTuple):
+    """One dimension-0 instance of a pattern as a NumPy address vector.
+
+    ``addresses`` are the byte addresses of every element of the
+    instance, in iteration order (always non-empty; empty instances are
+    skipped, exactly as :class:`StreamIterator` yields no element for
+    them).  ``dims_ended`` is the flag of the run's *last* element; every
+    earlier element of the run carries ``-1``, so runs are a lossless
+    regrouping of the element sequence.
+    """
+
+    addresses: np.ndarray
+    dims_ended: int
+
+
+class RunIterator:
+    """Dimension-0-granular (vectorized) expansion of a stream pattern.
+
+    Yields the exact element sequence of :class:`StreamIterator`, but one
+    whole dimension-0 instance at a time as a NumPy vector: outer
+    dimensions, modifiers, and indirection still iterate in Python (their
+    trip counts are the small factors), while the innermost dimension —
+    the bulk of every pattern — is materialised with one ``arange``.
+
+    Side-effect order is preserved: indirect origin values are pulled
+    through ``read_element`` lazily, one value per iteration of the
+    binding dimension, *before* the dependent run is yielded — the same
+    positions at which :class:`StreamIterator` pulls them.  This is what
+    keeps the functional trace (chunk/origin-read attribution) bit-identical
+    to the element-granular iterator.
+    """
+
+    def __init__(
+        self,
+        pattern: StreamPattern,
+        read_element: Optional[ReadElement] = None,
+    ) -> None:
+        self._pattern = pattern
+        self._read_element = read_element
+        if pattern.has_indirection and read_element is None:
+            raise DescriptorError(
+                "indirect patterns require a read_element callback"
+            )
+
+    def __iter__(self) -> Iterator[StreamRun]:
+        return self._generate(self._pattern)
+
+    def _generate(self, pattern: StreamPattern) -> Iterator[StreamRun]:
+        working = [
+            _WorkingDescriptor(lvl.descriptor) if lvl.descriptor else None
+            for lvl in pattern.levels
+        ]
+        width = pattern.etype.width
+        top = pattern.ndims - 1
+        for addresses, ended in self._gen_level(pattern, working, top, 0):
+            yield StreamRun(addresses * width, ended)
+
+    def _gen_level(
+        self,
+        pattern: StreamPattern,
+        working: List[Optional[_WorkingDescriptor]],
+        level_idx: int,
+        displacement: int,
+    ) -> Iterator:
+        level = pattern.levels[level_idx]
+        if level_idx == 0:
+            desc = working[0]
+            assert desc is not None
+            count = desc.size
+            if count:  # an empty instance yields no elements at all
+                base = displacement + desc.offset
+                yield (
+                    base + np.arange(count, dtype=np.int64) * desc.stride,
+                    0,
+                )
+            return
+
+        lower = working[level_idx - 1]
+        if lower is not None:
+            lower.reset()
+        app_counts = [0] * len(level.modifiers)
+        origin_iters = [
+            self._origin_values(mod)
+            if isinstance(mod, IndirectModifier)
+            else None
+            for mod in level.modifiers
+        ]
+        desc = working[level_idx]
+
+        if desc is None:
+            # Lone indirect modifier: the origin stream drives the trip count.
+            mod = level.modifiers[0]
+            assert isinstance(mod, IndirectModifier)
+            values = list(origin_iters[0])
+            count = len(values)
+            for i, value in enumerate(values):
+                StreamIterator._apply_indirect(mod, lower, value)
+                yield from self._promote(
+                    self._gen_level(pattern, working, level_idx - 1, displacement),
+                    level_idx,
+                    i == count - 1,
+                )
+            return
+
+        count = desc.size
+        offset, stride = desc.offset, desc.stride
+        for i in range(count):
+            for m, mod in enumerate(level.modifiers):
+                if isinstance(mod, StaticModifier):
+                    if app_counts[m] < mod.count:
+                        current = lower.get(mod.target)
+                        lower.set(mod.target, mod.apply(current, app_counts[m]))
+                        app_counts[m] += 1
+                else:
+                    try:
+                        value = next(origin_iters[m])
+                    except StopIteration:
+                        raise StreamError(
+                            "indirect origin stream exhausted before the "
+                            "dependent stream completed"
+                        ) from None
+                    StreamIterator._apply_indirect(mod, lower, value)
+            yield from self._promote(
+                self._gen_level(
+                    pattern, working, level_idx - 1, displacement + offset + i * stride
+                ),
+                level_idx,
+                i == count - 1,
+            )
+
+    @staticmethod
+    def _promote(inner: Iterator, level_idx: int, last: bool) -> Iterator:
+        """Lift end-of-dimension flags across this level's last iteration."""
+        for addresses, ended in inner:
+            if last and ended == level_idx - 1:
+                yield addresses, level_idx
+            else:
+                yield addresses, ended
+
+    def _origin_values(self, mod: IndirectModifier) -> Iterator[int]:
+        """Origin-stream values, pulled (and recorded by ``read_element``)
+        one at a time — element-granular on purpose, so the attribution of
+        engine-internal origin reads to chunks matches the legacy iterator."""
+        origin = mod.origin
+        assert isinstance(origin, StreamPattern)
+        reader = self._read_element
+        assert reader is not None
+        for element in StreamIterator(origin, reader):
+            yield int(reader(element.address, origin.etype))
 
 
 class StreamChunk(NamedTuple):

@@ -22,6 +22,9 @@ class FakeTlb:
     def probe(self, addr):
         return True
 
+    def stream_translate(self, addr):
+        return True, 0
+
 
 class FakeHierarchy:
     """Fixed-latency memory with access logging."""
@@ -287,6 +290,7 @@ class TestPageFaults:
         handling and keeps streaming."""
         engine, hier = make_engine()
         hier.tlb.probe = lambda addr: False  # every page unmapped
+        hier.tlb.stream_translate = lambda addr: (False, 0)
         engine.configure(make_info(n_chunks=2), 0)
         for cycle in range(20):
             engine.tick(cycle)

@@ -21,8 +21,12 @@ import tempfile
 import time
 
 from repro.harness import EXPERIMENTS
-from repro.harness.diskcache import ResultCache
-from repro.harness.executor import CampaignExecutor, stderr_progress
+from repro.harness.diskcache import ResultCache, parse_size
+from repro.harness.executor import (
+    CampaignExecutor,
+    CampaignInterrupted,
+    stderr_progress,
+)
 
 
 class IncrementalJsonWriter:
@@ -35,6 +39,15 @@ class IncrementalJsonWriter:
 
     def append(self, result) -> None:
         self.payload["experiments"].append(result.to_dict())
+        self.flush()
+
+    def mark_interrupted(self, completed: int, cancelled: int) -> None:
+        """Stamp the partial export so downstream consumers can tell a
+        Ctrl-C'd campaign from a finished one, and flush it atomically."""
+        self.payload["interrupted"] = {
+            "completed_runs": completed,
+            "cancelled_runs": cancelled,
+        }
         self.flush()
 
     def flush(self) -> None:
@@ -83,6 +96,14 @@ def main(argv=None) -> int:
                              "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the on-disk cache")
+    parser.add_argument("--cache-prune", metavar="SIZE", default="",
+                        help="evict least-recently-used cache entries "
+                             "until the store fits in SIZE (e.g. 500M, "
+                             "2G) and exit")
+    parser.add_argument("--cache-max-bytes", metavar="SIZE", default="",
+                        help="after the campaign, prune the cache to "
+                             "SIZE (LRU by mtime) so long sweep "
+                             "campaigns don't grow it unboundedly")
     parser.add_argument("--trace", metavar="PATH", default="",
                         help="write a JSON log of per-run timing/cache "
                              "events")
@@ -103,6 +124,8 @@ def main(argv=None) -> int:
                 ("--json", bool(args.json)),
                 ("--cache-dir", bool(args.cache_dir)),
                 ("--no-cache", args.no_cache),
+                ("--cache-prune", bool(args.cache_prune)),
+                ("--cache-max-bytes", bool(args.cache_max_bytes)),
                 ("--trace", bool(args.trace)),
             )
             if present
@@ -116,6 +139,27 @@ def main(argv=None) -> int:
         report = validate_results(args.check)
         print(report.render())
         return 0 if report.ok else 1
+
+    if args.cache_prune:
+        if args.no_cache:
+            parser.error("--cache-prune needs the cache (drop --no-cache)")
+        try:
+            limit = parse_size(args.cache_prune)
+        except ValueError as exc:
+            parser.error(str(exc))
+        cache = ResultCache(args.cache_dir or None)
+        print(cache.prune(limit).render())
+        return 0
+
+    max_bytes = None
+    if args.cache_max_bytes:
+        if args.no_cache:
+            parser.error("--cache-max-bytes needs the cache "
+                         "(drop --no-cache)")
+        try:
+            max_bytes = parse_size(args.cache_max_bytes)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     scale = 1.0 if args.scale is None else args.scale
     seed = 0 if args.seed is None else args.seed
@@ -143,7 +187,19 @@ def main(argv=None) -> int:
         if writer is not None:
             writer.append(result)
 
-    executor.run_campaign(names, on_result=on_result)
+    try:
+        executor.run_campaign(names, on_result=on_result)
+    except CampaignInterrupted as interrupt:
+        # Completed rows are safe (disk cache + already-flushed JSON);
+        # record the interruption and exit with the conventional SIGINT
+        # status so callers can distinguish it from success or failure.
+        if writer is not None:
+            writer.mark_interrupted(interrupt.completed, interrupt.cancelled)
+            print(f"wrote partial {args.json} (interrupted)",
+                  file=sys.stderr)
+        print(f"{interrupt} — completed runs are cached; re-run to "
+              f"finish", file=sys.stderr)
+        return 130
 
     counts = executor.cache_summary()
     print(
@@ -160,6 +216,8 @@ def main(argv=None) -> int:
         print(f"wrote trace {args.trace}", file=sys.stderr)
     if writer is not None:
         print(f"wrote {args.json}")
+    if max_bytes is not None and cache is not None:
+        print(cache.prune(max_bytes).render(), file=sys.stderr)
     return 0
 
 

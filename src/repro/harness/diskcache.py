@@ -14,8 +14,9 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.harness.runner import RunRecord
 
@@ -91,6 +92,12 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # LRU touch: prune() evicts by mtime, so a hit must count as
+            # recent use, not leave the entry looking as old as its write.
+            os.utime(path)
+        except OSError:
+            pass
         return record
 
     def store(self, key: str, record: RunRecord) -> None:
@@ -123,3 +130,89 @@ class ResultCache:
                     os.unlink(tmp)
                 except OSError:
                     pass
+
+    # -- Garbage collection --------------------------------------------------
+
+    def entries(self) -> List[Tuple[Path, float, int]]:
+        """Every cache entry as ``(path, mtime, size_bytes)``, across all
+        salts/formats sharing this root (GC is salt-agnostic: stale-salt
+        entries are exactly the ones worth evicting first)."""
+        out = []
+        try:
+            paths = list(self.root.rglob("*.json"))
+        except OSError:
+            return out
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((path, stat.st_mtime, stat.st_size))
+        return out
+
+    def size_bytes(self) -> int:
+        return sum(size for _, _, size in self.entries())
+
+    def prune(self, max_bytes: int) -> "PruneStats":
+        """Evict least-recently-used entries (by mtime; hits touch) until
+        the store fits in ``max_bytes``.  Best-effort and concurrent-safe:
+        a worker re-storing an evicted entry just repopulates it, and an
+        entry that vanishes mid-prune is skipped."""
+        entries = self.entries()
+        total = sum(size for _, _, size in entries)
+        stats = PruneStats(
+            scanned=len(entries), removed=0,
+            bytes_before=total, bytes_after=total,
+        )
+        if total <= max_bytes:
+            return stats
+        # Oldest first; break mtime ties by path for determinism.
+        for path, _, size in sorted(entries, key=lambda e: (e[1], str(e[0]))):
+            if stats.bytes_after <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            stats.removed += 1
+            stats.bytes_after -= size
+            parent = path.parent
+            if parent != self.root:
+                try:
+                    parent.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+        return stats
+
+
+@dataclass
+class PruneStats:
+    """Outcome of one :meth:`ResultCache.prune` pass."""
+
+    scanned: int
+    removed: int
+    bytes_before: int
+    bytes_after: int
+
+    def render(self) -> str:
+        return (
+            f"cache prune: {self.removed}/{self.scanned} entries evicted "
+            f"({self.bytes_before} -> {self.bytes_after} bytes)"
+        )
+
+
+def parse_size(text: str) -> int:
+    """Parse ``500M``/``2G``-style sizes into bytes (plain int = bytes)."""
+    text = text.strip()
+    units = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3, "T": 1024 ** 4}
+    mult = 1
+    if text and text[-1].upper() in units:
+        mult = units[text[-1].upper()]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(f"unparseable size {text!r} (want e.g. 500M, 2G)")
+    if value < 0:
+        raise ValueError(f"negative size {text!r}")
+    return int(value * mult)

@@ -31,8 +31,25 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.errors import ReproError
 from repro.harness.report import ExperimentResult
 from repro.harness.runner import Runner, RunSpec
+
+
+class CampaignInterrupted(ReproError):
+    """Ctrl-C during a campaign: pending work was cancelled cleanly.
+
+    Completed rows survive — they are already in the disk cache and in
+    ``CampaignExecutor.events`` — so the CLI can flush a partial
+    ``--json`` and exit with a distinct status instead of a traceback."""
+
+    def __init__(self, completed: int, cancelled: int) -> None:
+        super().__init__(
+            f"campaign interrupted: {completed} runs completed, "
+            f"{cancelled} cancelled"
+        )
+        self.completed = completed
+        self.cancelled = cancelled
 
 
 @dataclass
@@ -106,7 +123,12 @@ class CampaignExecutor:
     def prefetch(self, names: List[str]) -> None:
         """Warm the in-process cache for every declared run: disk cache
         first, then the process pool for the misses."""
-        specs = self.collect_specs(names)
+        self.run_specs(self.collect_specs(names))
+
+    def run_specs(self, specs: Dict[str, RunSpec]) -> None:
+        """Execute fingerprint-keyed specs into the runner's warm cache
+        (cache-first, then serial or pooled).  Also the entry point for
+        external spec producers such as :mod:`repro.harness.sweep`."""
         pending: Dict[str, RunSpec] = {}
         for key, spec in specs.items():
             if self.runner.cached(key) is not None:
@@ -135,15 +157,21 @@ class CampaignExecutor:
 
     def _run_serial(self, pending: Dict[str, RunSpec]) -> None:
         remaining = len(pending)
-        for key, spec in pending.items():
-            record, wall, worker = _execute_spec(
-                spec, self.scale, self.seed, self.lowering
-            )
-            remaining -= 1
-            self._finish(key, spec, record, wall, worker, remaining)
+        completed = 0
+        try:
+            for key, spec in pending.items():
+                record, wall, worker = _execute_spec(
+                    spec, self.scale, self.seed, self.lowering
+                )
+                remaining -= 1
+                completed += 1
+                self._finish(key, spec, record, wall, worker, remaining)
+        except KeyboardInterrupt:
+            raise CampaignInterrupted(completed, remaining) from None
 
     def _run_pool(self, pending: Dict[str, RunSpec]) -> None:
         remaining = len(pending)
+        completed = 0
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {
                 pool.submit(_execute_spec, spec, self.scale, self.seed,
@@ -151,11 +179,20 @@ class CampaignExecutor:
                     (key, spec)
                 for key, spec in pending.items()
             }
-            for future in as_completed(futures):
-                key, spec = futures[future]
-                record, wall, worker = future.result()
-                remaining -= 1
-                self._finish(key, spec, record, wall, worker, remaining)
+            try:
+                for future in as_completed(futures):
+                    key, spec = futures[future]
+                    record, wall, worker = future.result()
+                    remaining -= 1
+                    completed += 1
+                    self._finish(key, spec, record, wall, worker, remaining)
+            except KeyboardInterrupt:
+                # Completed rows are already cached; drop the rest now
+                # (cancel queued futures, kill the pool) instead of
+                # waiting out every in-flight simulation.
+                cancelled = sum(1 for f in futures if f.cancel())
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise CampaignInterrupted(completed, cancelled) from None
 
     def run_campaign(
         self,

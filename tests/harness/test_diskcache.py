@@ -1,8 +1,11 @@
 """Tests for the persistent on-disk result cache."""
 import dataclasses
 import json
+import os
 
-from repro.harness.diskcache import ResultCache, code_version_salt
+import pytest
+
+from repro.harness.diskcache import ResultCache, code_version_salt, parse_size
 from repro.harness.runner import RunRecord
 
 
@@ -70,6 +73,84 @@ class TestResultCache:
     def test_default_salt_is_stable(self):
         assert code_version_salt() == code_version_salt()
         assert len(code_version_salt()) == 64
+
+
+class TestPrune:
+    """Size-bounded GC: LRU-by-mtime eviction for long sweep campaigns."""
+
+    def _age(self, cache, key, mtime):
+        os.utime(cache._path(key), (mtime, mtime))
+
+    def test_under_limit_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        cache.store("k1", record())
+        stats = cache.prune(max_bytes=10 ** 9)
+        assert (stats.scanned, stats.removed) == (1, 0)
+        assert cache.load("k1") is not None
+
+    def test_evicts_oldest_first_until_fit(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        for i in range(5):
+            cache.store(f"k{i}", record())
+            self._age(cache, f"k{i}", 1000.0 + i)
+        entry_size = cache._path("k0").stat().st_size
+        stats = cache.prune(max_bytes=2 * entry_size)
+        assert stats.removed == 3
+        assert stats.bytes_after <= 2 * entry_size
+        # The two most recently used entries survive.
+        assert cache.load("k0") is None
+        assert cache.load("k1") is None
+        assert cache.load("k2") is None
+        assert cache.load("k3") is not None
+        assert cache.load("k4") is not None
+
+    def test_hit_counts_as_recent_use(self, tmp_path):
+        """load() touches mtime, so a hot entry survives eviction even
+        if it was written first."""
+        cache = ResultCache(tmp_path, salt="s")
+        for i in range(3):
+            cache.store(f"k{i}", record())
+            self._age(cache, f"k{i}", 1000.0 + i)
+        assert cache.load("k0") is not None  # touch: now most recent
+        entry_size = cache._path("k0").stat().st_size
+        cache.prune(max_bytes=entry_size)
+        assert cache.load("k0") is not None
+        assert cache.load("k2") is None
+
+    def test_prune_to_zero_clears_and_campaign_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        for i in range(4):
+            cache.store(f"k{i}", record())
+        stats = cache.prune(max_bytes=0)
+        assert stats.removed == 4
+        assert cache.size_bytes() == 0
+        # Empty shard dirs were cleaned up too.
+        assert not [p for p in tmp_path.iterdir() if p.is_dir()]
+        cache.store("k0", record())  # store after prune still works
+        assert cache.load("k0") is not None
+
+    def test_prune_spans_salts(self, tmp_path):
+        """Stale-salt entries (old code versions) share the root and are
+        GC'd by the same pass — they are the best eviction candidates."""
+        old = ResultCache(tmp_path, salt="v1")
+        new = ResultCache(tmp_path, salt="v2")
+        old.store("k", record())
+        self._age(old, "k", 1000.0)
+        new.store("k", record())
+        entry_size = new._path("k").stat().st_size
+        new.prune(max_bytes=entry_size)
+        assert old.load("k") is None
+        assert new.load("k") is not None
+
+    def test_parse_size(self):
+        assert parse_size("1024") == 1024
+        assert parse_size("2K") == 2048
+        assert parse_size("1.5M") == int(1.5 * 1024 ** 2)
+        assert parse_size("2G") == 2 * 1024 ** 3
+        with pytest.raises(ValueError):
+            parse_size("banana")
+        with pytest.raises(ValueError):
+            parse_size("-1M")
 
 
 class TestRunnerDiskIntegration:

@@ -8,7 +8,7 @@ import pytest
 
 from repro.harness import EXPERIMENTS
 from repro.harness.diskcache import ResultCache
-from repro.harness.executor import CampaignExecutor
+from repro.harness.executor import CampaignExecutor, CampaignInterrupted
 
 CAMPAIGN = ["fig8e", "ext-shared-fifo"]
 SCALE = 0.1
@@ -129,3 +129,66 @@ class TestObservability:
         assert len(payload["events"]) == len(executor.events)
         assert {"kernel", "status", "wall_s", "worker", "queue_depth"} \
             <= set(payload["events"][0])
+
+
+class TestInterrupt:
+    """Ctrl-C mid-campaign must surface as CampaignInterrupted with the
+    completed work preserved, not as a bare KeyboardInterrupt."""
+
+    def test_serial_interrupt_preserves_completed_runs(
+            self, monkeypatch, tmp_path):
+        import repro.harness.executor as executor_mod
+
+        cache = ResultCache(tmp_path, salt="s")
+        executor = CampaignExecutor(scale=SCALE, jobs=1, cache=cache)
+        real = executor_mod._execute_spec
+        calls = []
+
+        def interrupt_after_two(spec, *args, **kwargs):
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            calls.append(spec)
+            return real(spec, *args, **kwargs)
+
+        monkeypatch.setattr(executor_mod, "_execute_spec",
+                            interrupt_after_two)
+        with pytest.raises(CampaignInterrupted) as info:
+            executor.run_campaign(["fig8e"])
+        assert info.value.completed == 2
+        assert info.value.cancelled > 0
+        # The two finished runs are already persisted.
+        done = [e for e in executor.events if e.status == "miss"]
+        assert len(done) == 2
+        assert all(cache.load(e.key) is not None for e in done)
+
+    def test_pool_interrupt_cancels_pending_futures(self, monkeypatch):
+        import repro.harness.executor as executor_mod
+
+        executor = CampaignExecutor(scale=SCALE, jobs=2)
+
+        def interrupt(futures):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(executor_mod, "as_completed", interrupt)
+        with pytest.raises(CampaignInterrupted) as info:
+            executor.run_campaign(["fig8e"])
+        assert info.value.completed == 0
+        assert info.value.cancelled > 0
+
+    def test_cli_exits_130_and_flushes_partial_json(
+            self, monkeypatch, tmp_path, capsys):
+        from repro.harness import __main__ as cli
+
+        def interrupted_campaign(self, names, on_result=None):
+            raise CampaignInterrupted(completed=3, cancelled=5)
+
+        monkeypatch.setattr(CampaignExecutor, "run_campaign",
+                            interrupted_campaign)
+        out = tmp_path / "partial.json"
+        code = cli.main(["fig8e", "--scale", str(SCALE), "--no-cache",
+                         "--json", str(out)])
+        assert code == 130
+        import json
+        payload = json.loads(out.read_text())
+        assert payload["interrupted"] == {"completed_runs": 3,
+                                          "cancelled_runs": 5}
